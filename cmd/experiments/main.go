@@ -1,0 +1,256 @@
+// Command experiments regenerates the paper's evaluation figures and the
+// repo's ablations, printing ASCII tables (and optional CSV).
+//
+//	experiments -fig 7a            # Fig. 7(a) percentage of active time
+//	experiments -fig 7b            # Fig. 7(b) throughput vs. S-MAC+AODV
+//	experiments -fig 7c            # Fig. 7(c) sector lifetime ratio
+//	experiments -fig all -quick    # everything, cut-down sweeps
+//	experiments -ablation m        # compatibility-degree ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		fig      = flag.String("fig", "", "figure to regenerate: 7a, 7b, 7c, capacity, decay or all")
+		ablation = flag.String("ablation", "", "ablation to run: delta, m, delay, intercluster, interference, gap, order, energy, joint or all")
+		quick    = flag.Bool("quick", false, "use cut-down sweeps")
+		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
+	)
+	flag.Parse()
+	if *fig == "" && *ablation == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var csvRows [][]string
+	var csvHeaders []string
+
+	runFig := func(name string) {
+		switch name {
+		case "7a":
+			cfg := exp.DefaultFig7a()
+			if *quick {
+				cfg = exp.QuickFig7a()
+			}
+			points, err := exp.Fig7a(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Fig. 7(a): percentage of active time (rows: cluster size; '*' = over capacity)")
+			fmt.Println(exp.RenderFig7a(points))
+			csvHeaders = []string{"nodes", "rate_bps", "active_pct", "fits"}
+			csvRows = csvRows[:0]
+			for _, p := range points {
+				csvRows = append(csvRows, []string{
+					fmt.Sprint(p.Nodes), fmt.Sprint(p.RateBps),
+					fmt.Sprintf("%.2f", p.ActivePct), fmt.Sprint(p.Fits),
+				})
+			}
+		case "7b":
+			cfg := exp.DefaultFig7b()
+			if *quick {
+				cfg = exp.QuickFig7b()
+			}
+			points, err := exp.Fig7b(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Fig. 7(b): throughput at the sink (bytes/second)")
+			fmt.Println(exp.RenderFig7b(points))
+			csvHeaders = []string{"series", "offered_bps", "throughput_bps"}
+			csvRows = csvRows[:0]
+			for _, p := range points {
+				csvRows = append(csvRows, []string{
+					p.Series, fmt.Sprint(p.OfferedBps), fmt.Sprintf("%.1f", p.ThroughputBps),
+				})
+			}
+		case "7c":
+			cfg := exp.DefaultFig7c()
+			if *quick {
+				cfg = exp.QuickFig7c()
+			}
+			points, err := exp.Fig7c(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Fig. 7(c): lifetime ratio, sectors vs. no sectors")
+			fmt.Println(exp.RenderFig7c(points))
+			csvHeaders = []string{"nodes", "lifetime_ratio"}
+			csvRows = csvRows[:0]
+			for _, p := range points {
+				csvRows = append(csvRows, []string{fmt.Sprint(p.Nodes), fmt.Sprintf("%.3f", p.Ratio)})
+			}
+		case "decay":
+			cfg := exp.DefaultDecay()
+			if *quick {
+				cfg.Nodes = []int{15}
+				cfg.Seeds = []int64{1}
+			}
+			rows, err := exp.Decay(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Network decay (longitudinal Fig. 7(c)): battery deaths with and without sectors")
+			fmt.Println(exp.RenderDecay(rows))
+		case "capacity":
+			nodes := []int{10, 20, 30, 40, 60, 80, 100}
+			seeds := []int64{1, 2}
+			if *quick {
+				nodes = []int{10, 30}
+				seeds = []int64{1}
+			}
+			p := exp.DefaultFig7a().Params
+			p.LossProb = 0
+			rows, err := exp.Capacity(nodes, seeds, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Capacity frontier: max lossless per-sensor rate by cluster size")
+			fmt.Println(exp.RenderCapacity(rows))
+			csvHeaders = []string{"nodes", "max_rate_bps", "total_bps"}
+			csvRows = csvRows[:0]
+			for _, r := range rows {
+				csvRows = append(csvRows, []string{
+					fmt.Sprint(r.Nodes), fmt.Sprintf("%.1f", r.MaxRateBps), fmt.Sprintf("%.1f", r.TotalBps),
+				})
+			}
+		default:
+			log.Fatalf("unknown figure %q", name)
+		}
+	}
+
+	runAblation := func(name string) {
+		switch name {
+		case "delta":
+			rows, err := exp.AblationDeltaSearch([]int{15, 30, 45, 60}, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: routing delta search (linear, per the paper, vs. binary)")
+			fmt.Println(exp.RenderDeltaSearch(rows))
+		case "m":
+			rows, err := exp.AblationM(25, []int{1, 2, 3, 4}, 1, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: compatibility degree M")
+			fmt.Println(exp.RenderM(rows))
+		case "delay":
+			rows, err := exp.AblationDelay([]int{15, 30}, 1, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: pipelined vs. delay-allowed scheduling (Theorem 2)")
+			fmt.Println(exp.RenderDelay(rows))
+		case "intercluster":
+			rows, err := exp.AblationInterCluster([]int{4, 9, 16}, 12, 500*time.Millisecond, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: inter-cluster interference removal (Section V-G)")
+			fmt.Println(exp.RenderInterCluster(rows))
+		case "interference":
+			res, err := exp.AblationInterferenceModel(50, 20, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: protocol (pairwise) model vs. accumulated-interference SINR")
+			fmt.Println(stats.Table(
+				[]string{"trials", "pairwise-built schedules that collide", "SINR-built schedules that collide"},
+				[][]string{{
+					fmt.Sprint(res.Trials),
+					fmt.Sprint(res.PairwiseCollisions),
+					fmt.Sprint(res.SINRCollisions),
+				}},
+			))
+		case "ack":
+			rows, err := exp.AblationAckCover([]int{8, 12, 16, 20}, []int64{1, 2, 3})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: acknowledgment-collection cover (Section V-F), greedy vs. exact")
+			fmt.Println(exp.RenderAck(rows))
+		case "pcf":
+			rows, err := exp.PCFComparison([]int{10, 20, 30, 50, 80}, []int64{1, 2, 3})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Baseline: single-hop polling (802.11 PCF / Bluetooth style) vs. multi-hop polling")
+			fmt.Println(exp.RenderPCF(rows))
+		case "joint":
+			res, err := exp.AblationJointGap(60, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: JMHRP decomposition (Section III-E) vs. exact joint optimum")
+			fmt.Println(exp.RenderJointGap(res))
+		case "gap":
+			res, err := exp.AblationGreedyGap(200, 5, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: on-line greedy vs. exact optimum (small random instances)")
+			fmt.Println(exp.RenderGreedyGap(res))
+		case "order":
+			rows, err := exp.AblationOrder(30, 1, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: greedy scan-order heuristics")
+			fmt.Println(exp.RenderOrder(rows))
+		case "energy":
+			rows, err := exp.AblationEnergyModes(30, 1, 3, 100)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Ablation: sleeping policies (early sleep, sectors, both)")
+			fmt.Println(exp.RenderEnergyModes(rows))
+		default:
+			log.Fatalf("unknown ablation %q", name)
+		}
+	}
+
+	if *fig != "" {
+		figs := []string{*fig}
+		if *fig == "all" {
+			figs = []string{"7a", "7b", "7c"}
+		}
+		for _, f := range figs {
+			runFig(f)
+		}
+	}
+	if *ablation != "" {
+		abls := []string{*ablation}
+		if *ablation == "all" {
+			abls = []string{"delta", "m", "delay", "intercluster", "interference", "gap", "order", "energy", "joint", "pcf", "ack"}
+		}
+		for _, a := range abls {
+			runAblation(a)
+		}
+	}
+
+	if *csvPath != "" && len(csvRows) > 0 {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := stats.WriteCSV(f, csvHeaders, csvRows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", *csvPath, len(csvRows))
+	}
+}

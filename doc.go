@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Energy Efficient
+// Multi-Hop Polling in Clusters of Two-Layered Heterogeneous Sensor
+// Networks" (Zhang, Ma, Yang; IPDPS 2005).
+//
+// The library lives under internal/ (one package per subsystem; see
+// DESIGN.md for the inventory), runnable binaries under cmd/, worked
+// examples under examples/, and the figure-regenerating benchmarks in
+// bench_test.go at this root.
+package repro

@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Capacity analysis. The paper's Fig. 7(a) discussion observes that "there
+// is a maximum size for a cluster under a certain data generating rate,
+// and above this threshold, packets will be lost. Thus we should choose a
+// suitable size for a cluster so that no packets are lost while sensors
+// can also enjoy long sleeping time." This file quantifies that limit.
+
+// MaxSustainableRate returns the largest per-sensor data rate (in
+// bytes/second) the cluster sustains — every simulated duty cycle fits in
+// the cycle period — found by bisection to within tol bytes/second.
+//
+// The probe simulates `cycles` duty cycles per candidate rate, so the
+// answer accounts for ack collection, retransmissions and scheduling
+// inefficiency, not just raw airtime.
+func MaxSustainableRate(c *topo.Cluster, p Params, cycles int, tol float64) (float64, error) {
+	if cycles < 1 {
+		return 0, fmt.Errorf("cluster: need at least one cycle")
+	}
+	if tol <= 0 {
+		return 0, fmt.Errorf("cluster: non-positive tolerance")
+	}
+	feasible := func(rate float64) (bool, error) {
+		q := p
+		q.RateBps = rate
+		r, err := NewRunner(c, q)
+		if err != nil {
+			return false, err
+		}
+		s, err := r.Run(cycles)
+		if err != nil {
+			return false, err
+		}
+		return s.AllFit, nil
+	}
+	lo := 0.0
+	hi := 8.0
+	// Grow until infeasible (or give up at an absurd rate).
+	const ceiling = 1 << 16
+	for {
+		ok, err := feasible(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		lo = hi
+		hi *= 2
+		if hi > ceiling {
+			return lo, nil // the cluster sustains anything sane
+		}
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		ok, err := feasible(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestMaxSustainableRateShrinksWithSize(t *testing.T) {
+	rate := func(n int) float64 {
+		c, err := topo.Build(topo.DefaultConfig(n, 103))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := DefaultParams()
+		p.LossProb = 0
+		r, err := MaxSustainableRate(c, p, 1, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	small := rate(10)
+	big := rate(60)
+	if small <= 0 || big <= 0 {
+		t.Fatalf("rates: %v, %v", small, big)
+	}
+	// The paper's capacity observation: bigger clusters sustain less
+	// per-sensor rate.
+	if big >= small {
+		t.Fatalf("60 sensors sustain %v B/s >= 10 sensors' %v B/s", big, small)
+	}
+}
+
+func TestMaxSustainableRateIsFeasible(t *testing.T) {
+	c, err := topo.Build(topo.DefaultConfig(30, 107))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.LossProb = 0
+	rate, err := MaxSustainableRate(c, p, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The returned rate must itself fit...
+	p.RateBps = rate
+	r, err := NewRunner(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.AllFit {
+		t.Fatalf("returned rate %v does not fit", rate)
+	}
+	// ...and a clearly higher rate must not.
+	p.RateBps = rate * 1.5
+	r2, err := NewRunner(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r2.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.AllFit {
+		t.Fatalf("rate %v above the capacity still fits", p.RateBps)
+	}
+}
+
+func TestMaxSustainableRateValidation(t *testing.T) {
+	c, err := topo.Build(topo.DefaultConfig(5, 109))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MaxSustainableRate(c, DefaultParams(), 0, 1); err == nil {
+		t.Error("zero cycles should error")
+	}
+	if _, err := MaxSustainableRate(c, DefaultParams(), 1, 0); err == nil {
+		t.Error("zero tolerance should error")
+	}
+}

@@ -1,0 +1,642 @@
+// Package cluster is the slot-level runtime of one polling cluster: it
+// orchestrates the duty cycle the paper describes in Section II — wake-up
+// broadcast, acknowledgment collection (Section V-F, via weighted set
+// cover over relaying paths), the pipelined data polling phase (the core
+// greedy scheduler), and the sleep broadcast — and accounts every sensor's
+// radio time and energy. Sector mode (Section IV) wakes sectors in turn so
+// each sensor idles only through its own sector's window.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/routing"
+	"repro/internal/sector"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Params configures a cluster runtime.
+type Params struct {
+	// M is the compatibility degree: the head only knows interference
+	// patterns of groups of at most M transmissions (paper: 2 or 3).
+	M int
+	// BandwidthBps is the radio bit rate (paper: 200 kbps).
+	BandwidthBps float64
+	// DataBytes is the fixed data packet size (paper: 80 bytes).
+	DataBytes int
+	// PollBytes sizes the head's per-slot polling broadcast, which names
+	// the slot's senders and receivers.
+	PollBytes int
+	// AckBytes sizes the acknowledgment packets of the wake-up phase.
+	AckBytes int
+	// Cycle is the period between wake-ups.
+	Cycle time.Duration
+	// RateBps is each sensor's data generation rate in bytes/second.
+	RateBps float64
+	// LossProb is the per-transmission loss probability.
+	LossProb float64
+	// Seed drives workload and loss randomness.
+	Seed int64
+	// Energy is the sensor power model.
+	Energy energy.Model
+	// UseSectors enables sector partitioning.
+	UseSectors bool
+	// Search picks the routing delta search strategy.
+	Search routing.DeltaSearch
+	// AllowDelay switches the scheduler to the delay-allowed variant
+	// (ablation; Theorem 2 says it cannot help).
+	AllowDelay bool
+	// EarlySleep releases a sensor to sleep as soon as all packets it
+	// sources or relays have been received — the Section IV observation
+	// ("if a sensor will not be involved in transmissions occurred
+	// later, it can enter the sleep mode immediately") that motivates
+	// sectors. Idealized: the head signals the release in its poll
+	// broadcasts.
+	EarlySleep bool
+	// LinkLoss derives per-hop loss probabilities from each link's SNR
+	// margin (radio.Quality) instead of the uniform LossProb; LossProb
+	// still applies as a floor.
+	LinkLoss bool
+	// SourceRouting makes every data packet carry its full relaying path
+	// in a header (Section V-C); the data slot grows by the longest
+	// route's header. The default is the equivalent one-hop dependent
+	// table, which costs sensor memory instead of airtime.
+	SourceRouting bool
+	// PoissonTraffic replaces periodic CBR sampling with Poisson packet
+	// arrivals of the same mean rate (event-driven sensing).
+	PoissonTraffic bool
+}
+
+// DefaultParams returns the paper-flavored defaults.
+func DefaultParams() Params {
+	return Params{
+		M:            3,
+		BandwidthBps: 200_000,
+		DataBytes:    80,
+		PollBytes:    80, // the slot assignment lists are packet-sized
+		AckBytes:     16,
+		Cycle:        4 * time.Second,
+		RateBps:      20,
+		LossProb:     0.02,
+		Energy:       energy.DefaultModel(),
+	}
+}
+
+func (p Params) validate() error {
+	if p.M < 1 {
+		return fmt.Errorf("cluster: M must be >= 1")
+	}
+	if p.BandwidthBps <= 0 || p.DataBytes <= 0 || p.PollBytes <= 0 || p.AckBytes <= 0 {
+		return fmt.Errorf("cluster: non-positive radio parameters")
+	}
+	if p.Cycle <= 0 {
+		return fmt.Errorf("cluster: non-positive cycle")
+	}
+	if p.RateBps < 0 || p.LossProb < 0 || p.LossProb >= 1 {
+		return fmt.Errorf("cluster: bad rate or loss probability")
+	}
+	return nil
+}
+
+func (p Params) txTime(bytes int) time.Duration {
+	return time.Duration(float64(bytes*8) / p.BandwidthBps * float64(time.Second))
+}
+
+// dataSlot is the full length of one polling slot: the head's polling
+// broadcast followed by one data packet transmission.
+func (p Params) dataSlot() time.Duration { return p.txTime(p.PollBytes) + p.txTime(p.DataBytes) }
+
+// ackSlot is one acknowledgment-collection slot.
+func (p Params) ackSlot() time.Duration { return p.txTime(p.PollBytes) + p.txTime(p.AckBytes) }
+
+// Runner simulates one cluster cycle by cycle.
+type Runner struct {
+	C    *topo.Cluster
+	P    Params
+	Plan *routing.Plan
+	// Part is the sector partition (nil without sectors).
+	Part   *sector.Partition
+	Oracle *radio.TestedOracle
+	gen    workload.Generator
+	demand []int
+	// groups lists the sensor groups that wake in turn: one group of all
+	// sensors without sectors, or one per sector.
+	groups [][]int
+	// groupRoutes[g][v] is sensor v's relaying path when group g is up.
+	groupRoutes []map[int][]int
+	// Unreachable lists sensors without a relaying path to the head
+	// (failed sensors, or sensors stranded by failures); they take no
+	// part in cycles.
+	Unreachable []int
+	// Trace, when non-nil, records every data-phase transmission, loss
+	// and arrival of subsequent cycles for offline analysis.
+	Trace    *trace.Log
+	cycleIdx int
+}
+
+// NewRunner plans routing (and sectors when enabled) for the cluster and
+// returns a ready runtime.
+func NewRunner(c *topo.Cluster, p Params) (*Runner, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := c.Sensors()
+	cbr := workload.NewCBR(n, p.RateBps, p.DataBytes)
+	var gen workload.Generator = cbr
+	if p.PoissonTraffic {
+		gen = workload.NewPoisson(n, p.RateBps, p.DataBytes, p.Seed^0x50a550a5)
+	}
+	demand := make([]int, n+1)
+	var unreachable []int
+	for v := 1; v <= n; v++ {
+		if c.Level[v] > 0 {
+			demand[v] = cbr.PlanningDemand(p.Cycle)
+		} else {
+			// Failed or stranded sensors (topo.Cluster.MarkFailed) take
+			// no part in the cluster.
+			unreachable = append(unreachable, v)
+		}
+	}
+	plan, err := routing.BalancedPaths(c.G, topo.Head, demand, p.Search)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: routing failed: %w", err)
+	}
+	r := &Runner{
+		C:           c,
+		P:           p,
+		Plan:        plan,
+		Oracle:      radio.NewTestedOracle(radio.SINROracle{M: c.Med}, p.M),
+		gen:         gen,
+		demand:      demand,
+		Unreachable: unreachable,
+	}
+	if p.UseSectors {
+		part, err := sector.BuildPartition(c.G, topo.Head, plan.CycleRoutes(0), demand,
+			sector.Options{Oracle: r.Oracle})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: sector partition failed: %w", err)
+		}
+		r.Part = part
+		for _, sec := range part.Sectors {
+			r.groups = append(r.groups, sec)
+			routes := make(map[int][]int, len(sec))
+			for _, v := range sec {
+				routes[v] = treePath(part.Parent, v, topo.Head)
+			}
+			r.groupRoutes = append(r.groupRoutes, routes)
+		}
+	} else {
+		all := make([]int, 0, n)
+		for v := 1; v <= n; v++ {
+			if c.Level[v] > 0 {
+				all = append(all, v)
+			}
+		}
+		r.groups = [][]int{all}
+		r.groupRoutes = nil // resolved per cycle from the rotation
+	}
+	return r, nil
+}
+
+func treePath(parent []int, v, head int) []int {
+	path := []int{v}
+	for x := v; x != head; {
+		x = parent[x]
+		path = append(path, x)
+	}
+	return path
+}
+
+// CycleResult reports one duty cycle.
+type CycleResult struct {
+	// Offered and Delivered count data packets; polling delivers all of
+	// them whenever the duty fits in the cycle.
+	Offered, Delivered int
+	// AckSlots and DataSlots are summed over groups.
+	AckSlots, DataSlots int
+	// Duty is the total awake span of the cluster (sum of group windows).
+	Duty time.Duration
+	// Fits reports whether the duty fit into the cycle; when false the
+	// cluster is over capacity and Delivered is scaled down.
+	Fits bool
+	// Retries counts loss-induced re-polls.
+	Retries int
+	// Profiles[v] is sensor v's radio time budget this cycle (index 0 is
+	// the mains-powered head and is left zero).
+	Profiles []energy.CycleProfile
+	// ActiveFraction is the mean per-sensor awake fraction — the paper's
+	// Fig. 7(a) metric.
+	ActiveFraction float64
+	// OracleTests is the cumulative number of interference groups the
+	// head has tested so far (Section IV's sector benefit).
+	OracleTests int
+	// MeanLatency and MaxLatency measure how long delivered packets
+	// waited from their group's first data slot to arrival at the head.
+	MeanLatency, MaxLatency time.Duration
+
+	latSlotSum   float64 // accumulated mean-latency * packets, in seconds
+	latMaxHolder time.Duration
+	latCount     int
+}
+
+// RunCycle simulates the next duty cycle.
+func (r *Runner) RunCycle() (*CycleResult, error) {
+	p := r.P
+	n := r.C.Sensors()
+	idx := r.cycleIdx
+	r.cycleIdx++
+
+	packets := r.gen.NextCycle(p.Cycle)
+	for _, v := range r.Unreachable {
+		packets[v-1] = 0 // failed sensors generate nothing
+	}
+	res := &CycleResult{
+		Profiles: make([]energy.CycleProfile, n+1),
+		Fits:     true,
+	}
+	for i := range res.Profiles {
+		res.Profiles[i].Cycle = p.Cycle
+	}
+	for _, k := range packets {
+		res.Offered += k
+	}
+
+	var rotation map[int][]int
+	if r.Part == nil {
+		rotation = r.Plan.CycleRoutes(idx)
+	}
+
+	loss := core.LossFn(nil)
+	switch {
+	case p.LinkLoss:
+		med := r.C.Med
+		floor := p.LossProb
+		loss = core.ProbLoss(p.Seed+int64(idx)*7919, func(tx radio.Transmission) float64 {
+			if q := med.Quality(tx.From, tx.To).LossProb; q > floor {
+				return q
+			}
+			return floor
+		})
+	case p.LossProb > 0:
+		loss = core.RandomLoss(p.Seed+int64(idx)*7919, p.LossProb)
+	}
+
+	for g, group := range r.groups {
+		routes := rotation
+		if r.Part != nil {
+			routes = r.groupRoutes[g]
+		}
+		window, err := r.runGroup(group, routes, packets, loss, res)
+		if err != nil {
+			return nil, err
+		}
+		res.Duty += window
+	}
+	if res.latCount > 0 {
+		res.MeanLatency = time.Duration(res.latSlotSum / float64(res.latCount) * float64(time.Second))
+		res.MaxLatency = res.latMaxHolder
+	}
+	res.Delivered = res.Offered
+	if res.Duty > p.Cycle {
+		res.Fits = false
+		res.Delivered = int(float64(res.Offered) * float64(p.Cycle) / float64(res.Duty))
+	}
+	// Active fraction: mean over sensors of their own awake window.
+	sum := 0.0
+	for v := 1; v <= n; v++ {
+		sum += res.Profiles[v].ActiveFraction()
+	}
+	if n > 0 {
+		res.ActiveFraction = sum / float64(n)
+	}
+	res.OracleTests = r.Oracle.Tests
+	return res, nil
+}
+
+// runGroup executes one group's window: wake broadcast, ack collection,
+// data polling, sleep broadcast. It fills in the group's sensor profiles
+// and returns the window length.
+func (r *Runner) runGroup(group []int, routes map[int][]int, packets []int,
+	loss core.LossFn, res *CycleResult) (time.Duration, error) {
+	p := r.P
+
+	// --- acknowledgment collection (Section V-F) ---
+	ackReqs, err := r.ackRequests(group, routes)
+	if err != nil {
+		return 0, err
+	}
+	ackSched, ackStats, err := core.Greedy(ackReqs, core.Options{
+		Oracle: r.Oracle, Loss: loss, AllowDelay: p.AllowDelay,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("cluster: ack polling failed: %w", err)
+	}
+
+	// --- data polling ---
+	var dataReqs []core.Request
+	id := 0
+	for _, v := range group {
+		route, ok := routes[v]
+		if !ok {
+			return 0, fmt.Errorf("cluster: sensor %d has no route", v)
+		}
+		for k := 0; k < packets[v-1]; k++ {
+			id++
+			dataReqs = append(dataReqs, core.Request{ID: id, Route: route})
+		}
+	}
+	dataSched, dataStats, err := core.Greedy(dataReqs, core.Options{
+		Oracle: r.Oracle, Loss: loss, AllowDelay: p.AllowDelay,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("cluster: data polling failed: %w", err)
+	}
+
+	ackSlots, dataSlots := ackSched.Makespan(), dataSched.Makespan()
+	res.AckSlots += ackSlots
+	res.DataSlots += dataSlots
+	res.Retries += ackStats.Retries + dataStats.Retries
+
+	pollT := p.txTime(p.PollBytes)
+	ackT := p.txTime(p.AckBytes)
+	// Source routing grows every data packet by the group's longest
+	// route header; the slot must fit the largest packet.
+	dataBytes := p.DataBytes
+	if p.SourceRouting {
+		maxRoute := 0
+		for _, v := range group {
+			if l := len(routes[v]); l > maxRoute {
+				maxRoute = l
+			}
+		}
+		dataBytes += routing.SourceRouteBytes(maxRoute)
+	}
+	dataT := p.txTime(dataBytes)
+	dataSlotDur := pollT + dataT
+	ackSlotDur := p.ackSlot()
+
+	if r.Trace != nil {
+		r.Trace.AppendSchedule(r.cycleIdx-1, dataSched, dataReqs, loss)
+	}
+
+	// Packet latency: time from the group's first data slot to arrival.
+	for _, lat := range trace.Latencies(dataSched) {
+		d := time.Duration(lat) * dataSlotDur
+		res.latSlotSum += d.Seconds()
+		res.latCount++
+		if d > res.latMaxHolder {
+			res.latMaxHolder = d
+		}
+	}
+	// Window: wake broadcast + ack slots + data slots + sleep broadcast.
+	window := pollT + time.Duration(ackSlots)*ackSlotDur +
+		time.Duration(dataSlots)*dataSlotDur + pollT
+
+	// Per-sensor accounting. By default every group sensor is awake for
+	// the whole window, receiving every head broadcast (wake, per-slot
+	// polls, sleep), transmitting/receiving its scheduled packets, and
+	// idling the rest. With EarlySleep the head releases a sensor right
+	// after its last involvement in the data phase (or right after the
+	// ack phase if it has nothing to send or relay).
+	for _, v := range group {
+		prof := &res.Profiles[v]
+		awake := window
+		polls := ackSlots + dataSlots + 2
+		if p.EarlySleep {
+			lastData, active := dataStats.LastActive[v]
+			if !active {
+				lastData = -1
+			}
+			awake = pollT + time.Duration(ackSlots)*ackSlotDur +
+				time.Duration(lastData+1)*dataSlotDur
+			polls = 1 + ackSlots + lastData + 1
+		}
+		tx := time.Duration(dataStats.TxCount[v])*dataT + time.Duration(ackStats.TxCount[v])*ackT
+		rx := time.Duration(dataStats.RxCount[v])*dataT + time.Duration(ackStats.RxCount[v])*ackT +
+			time.Duration(polls)*pollT
+		idle := awake - tx - rx
+		if idle < 0 {
+			idle = 0
+		}
+		prof.InTx += tx
+		prof.InRx += rx
+		prof.InIdle += idle
+	}
+	return window, nil
+}
+
+// ackRequests builds the acknowledgment polling requests for a group: a
+// minimum-cost set of relaying paths covering every group sensor (greedy
+// weighted set cover, costs = hop counts), one ack packet per chosen path
+// starting at the path's first sensor.
+func (r *Runner) ackRequests(group []int, routes map[int][]int) ([]core.Request, error) {
+	indexOf := make(map[int]int, len(group))
+	for i, v := range group {
+		indexOf[v] = i
+	}
+	subsets := make([]graph.Subset, 0, len(group))
+	paths := make([][]int, 0, len(group))
+	for _, v := range group {
+		route := routes[v]
+		if route == nil {
+			return nil, fmt.Errorf("cluster: sensor %d has no candidate ack path", v)
+		}
+		var elems []int
+		for _, x := range route[:len(route)-1] {
+			if i, ok := indexOf[x]; ok {
+				elems = append(elems, i)
+			}
+		}
+		subsets = append(subsets, graph.Subset{Elements: elems, Cost: float64(len(route) - 1)})
+		paths = append(paths, route)
+	}
+	chosen, _, err := graph.GreedySetCover(len(group), subsets)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: ack cover failed: %w", err)
+	}
+	reqs := make([]core.Request, 0, len(chosen))
+	for i, c := range chosen {
+		reqs = append(reqs, core.Request{ID: i + 1, Route: paths[c]})
+	}
+	return reqs, nil
+}
+
+// Summary aggregates many cycles.
+type Summary struct {
+	Cycles        int
+	Offered       int
+	Delivered     int
+	Retries       int
+	MeanActive    float64 // mean per-sensor active fraction
+	MeanAckSlots  float64
+	MeanDataSlots float64
+	MeanDuty      time.Duration
+	AllFit        bool
+	MeanProfiles  []energy.CycleProfile // per node, averaged
+	OracleTests   int
+}
+
+// Run simulates the given number of cycles and aggregates.
+func (r *Runner) Run(cycles int) (*Summary, error) {
+	if cycles < 1 {
+		return nil, fmt.Errorf("cluster: need at least one cycle")
+	}
+	n := r.C.Sensors()
+	s := &Summary{Cycles: cycles, AllFit: true,
+		MeanProfiles: make([]energy.CycleProfile, n+1)}
+	for i := range s.MeanProfiles {
+		s.MeanProfiles[i].Cycle = r.P.Cycle
+	}
+	var activeSum float64
+	var ackSum, dataSum int
+	var dutySum time.Duration
+	for i := 0; i < cycles; i++ {
+		res, err := r.RunCycle()
+		if err != nil {
+			return nil, err
+		}
+		s.Offered += res.Offered
+		s.Delivered += res.Delivered
+		s.Retries += res.Retries
+		activeSum += res.ActiveFraction
+		ackSum += res.AckSlots
+		dataSum += res.DataSlots
+		dutySum += res.Duty
+		s.AllFit = s.AllFit && res.Fits
+		for v := range s.MeanProfiles {
+			s.MeanProfiles[v].InTx += res.Profiles[v].InTx
+			s.MeanProfiles[v].InRx += res.Profiles[v].InRx
+			s.MeanProfiles[v].InIdle += res.Profiles[v].InIdle
+		}
+		s.OracleTests = res.OracleTests
+	}
+	for v := range s.MeanProfiles {
+		s.MeanProfiles[v].InTx /= time.Duration(cycles)
+		s.MeanProfiles[v].InRx /= time.Duration(cycles)
+		s.MeanProfiles[v].InIdle /= time.Duration(cycles)
+	}
+	s.MeanActive = activeSum / float64(cycles)
+	s.MeanAckSlots = float64(ackSum) / float64(cycles)
+	s.MeanDataSlots = float64(dataSum) / float64(cycles)
+	s.MeanDuty = dutySum / time.Duration(cycles)
+	return s, nil
+}
+
+// String renders the summary as a compact human-readable report.
+func (s *Summary) String() string {
+	return fmt.Sprintf(
+		"cycles %d: delivered %d/%d (%.0f%%), mean active %.2f%%, mean duty %v (ack %.1f + data %.1f slots), retries %d",
+		s.Cycles, s.Delivered, s.Offered, s.DeliveredFraction()*100,
+		s.MeanActive*100, s.MeanDuty.Round(time.Millisecond),
+		s.MeanAckSlots, s.MeanDataSlots, s.Retries)
+}
+
+// LevelBreakdown is the per-hop-level view of a summary: how sensors at
+// each distance from the head spend their radios. Inner (level-1) sensors
+// relay everyone behind them, so their transmit share — and power draw —
+// is the cluster's lifetime bottleneck; this is what the min-max routing
+// of Section III-A balances.
+type LevelBreakdown struct {
+	Level   int
+	Sensors int
+	// MeanTx/MeanRx/MeanIdle are mean per-cycle radio times.
+	MeanTx, MeanRx, MeanIdle time.Duration
+	// MeanPower is the mean steady-state draw in watts under the model.
+	MeanPower float64
+}
+
+// ByLevel groups the summary's mean profiles by hop level.
+func (s *Summary) ByLevel(c *topo.Cluster, m energy.Model) []LevelBreakdown {
+	agg := map[int]*LevelBreakdown{}
+	for v := 1; v < len(s.MeanProfiles); v++ {
+		l := c.Level[v]
+		if l <= 0 {
+			continue
+		}
+		b := agg[l]
+		if b == nil {
+			b = &LevelBreakdown{Level: l}
+			agg[l] = b
+		}
+		b.Sensors++
+		p := s.MeanProfiles[v]
+		b.MeanTx += p.InTx
+		b.MeanRx += p.InRx
+		b.MeanIdle += p.InIdle
+		b.MeanPower += energy.AveragePower(m, p)
+	}
+	var out []LevelBreakdown
+	for l := 1; ; l++ {
+		b, ok := agg[l]
+		if !ok {
+			break
+		}
+		n := time.Duration(b.Sensors)
+		b.MeanTx /= n
+		b.MeanRx /= n
+		b.MeanIdle /= n
+		b.MeanPower /= float64(b.Sensors)
+		out = append(out, *b)
+	}
+	return out
+}
+
+// DeliveredFraction is the throughput as a fraction of offered load.
+func (s *Summary) DeliveredFraction() float64 {
+	if s.Offered == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(s.Offered)
+}
+
+// Lifetime returns the cluster lifetime — the time until the first sensor
+// exhausts a battery of the given capacity at its mean per-cycle power —
+// the Fig. 7(c) metric.
+func (s *Summary) Lifetime(m energy.Model, batteryJoules float64) time.Duration {
+	min := time.Duration(0)
+	for v := 1; v < len(s.MeanProfiles); v++ {
+		lt := energy.Lifetime(m, s.MeanProfiles[v], batteryJoules)
+		if min == 0 || lt < min {
+			min = lt
+		}
+	}
+	return min
+}
+
+// TokenRotationCycle returns the minimum cycle length for a field of
+// clusters that removes inter-cluster interference by transmitting one
+// cluster at a time (Section V-G's token scheme).
+func TokenRotationCycle(duties []time.Duration) time.Duration {
+	var sum time.Duration
+	for _, d := range duties {
+		sum += d
+	}
+	return sum
+}
+
+// ColoredCycle returns the minimum cycle length when clusters are assigned
+// radio channels by the given coloring: clusters sharing a channel
+// serialize, different channels run concurrently.
+func ColoredCycle(duties []time.Duration, colors []int) (time.Duration, error) {
+	if len(duties) != len(colors) {
+		return 0, fmt.Errorf("cluster: %d duties vs %d colors", len(duties), len(colors))
+	}
+	perColor := make(map[int]time.Duration)
+	for i, d := range duties {
+		perColor[colors[i]] += d
+	}
+	var max time.Duration
+	for _, d := range perColor {
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+func TestRunField(t *testing.T) {
+	f := topo.BuildField(11, 300, 5, 80)
+	cfg := topo.DefaultConfig(0, 0) // ranges/propagation only; counts come from the field
+	p := DefaultParams()
+	p.RateBps = 20
+	p.LossProb = 0
+	s, err := RunField(f, cfg, p, 2, 80, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Clusters == 0 || s.Clusters > 5 {
+		t.Fatalf("clusters = %d", s.Clusters)
+	}
+	if s.Channels < 1 || s.Channels > 6 {
+		t.Fatalf("channels = %d", s.Channels)
+	}
+	if len(s.PerCluster) != s.Clusters || len(s.Colors) != s.Clusters {
+		t.Fatalf("per-cluster sizes: %d summaries, %d colors", len(s.PerCluster), len(s.Colors))
+	}
+	// Coloring can never be worse than the token.
+	if s.ColoredCycle > s.TokenCycle {
+		t.Fatalf("colored %v > token %v", s.ColoredCycle, s.TokenCycle)
+	}
+	if s.Lifetime <= 0 {
+		t.Fatal("field lifetime missing")
+	}
+	// Every cluster delivered everything it could reach.
+	for i, cs := range s.PerCluster {
+		if cs.DeliveredFraction() != 1 {
+			t.Fatalf("cluster %d delivered %v", i, cs.DeliveredFraction())
+		}
+	}
+	if !s.FitsCycle(s.ColoredCycle) {
+		t.Fatal("field must fit its own colored cycle")
+	}
+	if s.FitsCycle(s.ColoredCycle - time.Nanosecond) {
+		t.Fatal("field cannot fit below its colored cycle")
+	}
+}
+
+func TestRunFieldValidation(t *testing.T) {
+	f := topo.BuildField(3, 200, 2, 10)
+	cfg := topo.DefaultConfig(0, 0)
+	if _, err := RunField(f, cfg, DefaultParams(), 0, 80, 100); err == nil {
+		t.Fatal("zero cycles should error")
+	}
+}
+
+func TestBuildClusterFromField(t *testing.T) {
+	f := topo.BuildField(13, 250, 4, 60)
+	cfg := topo.DefaultConfig(0, 0)
+	total := 0
+	for k := range f.Heads {
+		c, err := f.BuildCluster(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += c.Sensors()
+		// Sensors out of reach are allowed but must be flagged by level.
+		for v := 1; v <= c.Sensors(); v++ {
+			if c.Level[v] == 0 {
+				t.Fatalf("cluster %d sensor %d has head level", k, v)
+			}
+		}
+	}
+	if total != 60 {
+		t.Fatalf("field clusters hold %d sensors, want 60", total)
+	}
+	if _, err := f.BuildCluster(9, cfg); err == nil {
+		t.Fatal("out-of-range cluster index should error")
+	}
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+func TestRunLongitudinalDecaysAndReplans(t *testing.T) {
+	c, err := topo.Build(topo.DefaultConfig(20, 149))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.RateBps = 60
+	p.LossProb = 0
+	p.Cycle = 2 * time.Second
+	// A battery small enough to die within the test run: the busiest
+	// relay draws tens of mW while awake.
+	res, err := RunLongitudinal(c, p, 0.08, 400, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deaths) == 0 {
+		t.Fatal("expected battery deaths within the run")
+	}
+	if res.FirstDeath == 0 || res.FirstDeath > res.End {
+		t.Fatalf("first death at %v, end %v", res.FirstDeath, res.End)
+	}
+	// Deaths in chronological order.
+	for i := 1; i < len(res.Deaths); i++ {
+		if res.Deaths[i].At < res.Deaths[i-1].At {
+			t.Fatal("deaths out of order")
+		}
+	}
+	// Every delivered cycle delivered fully (re-planning keeps 100%
+	// delivery for live, reachable sensors).
+	if res.DeliveredFraction() != 1 {
+		t.Fatalf("delivered fraction %v", res.DeliveredFraction())
+	}
+	if res.AliveAtEnd >= 20 {
+		t.Fatal("some sensors should be dead")
+	}
+	if res.AliveAtEnd+len(res.Deaths) != 20 {
+		t.Fatalf("alive %d + dead %d != 20", res.AliveAtEnd, len(res.Deaths))
+	}
+}
+
+func TestRunLongitudinalStopsAtAliveFloor(t *testing.T) {
+	c, err := topo.Build(topo.DefaultConfig(15, 151))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.RateBps = 60
+	p.LossProb = 0
+	p.Cycle = 2 * time.Second
+	// Sector mode staggers awake time across sectors, so deaths spread
+	// over many cycles instead of hitting all at once.
+	p.UseSectors = true
+	res, err := RunLongitudinal(c, p, 0.05, 10_000, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The floor (80% alive) must stop the run well before 10k cycles.
+	if res.Cycles >= 10_000 {
+		t.Fatal("run never stopped")
+	}
+	if res.AliveAtEnd == 0 {
+		t.Fatal("floor should leave survivors")
+	}
+}
+
+func TestRunLongitudinalValidation(t *testing.T) {
+	c, err := topo.Build(topo.DefaultConfig(5, 157))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLongitudinal(c, DefaultParams(), 1, 0, 0); err == nil {
+		t.Error("zero cycles should error")
+	}
+	if _, err := RunLongitudinal(c, DefaultParams(), 0, 1, 0); err == nil {
+		t.Error("zero battery should error")
+	}
+}
+
+func TestRunLongitudinalSectorsLastLonger(t *testing.T) {
+	c1, err := topo.Build(topo.DefaultConfig(25, 163))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := topo.Build(topo.DefaultConfig(25, 163))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultParams()
+	base.RateBps = 40
+	base.LossProb = 0
+	base.Cycle = 2 * time.Second
+	sec := base
+	sec.UseSectors = true
+
+	plain, err := RunLongitudinal(c1, base, 0.15, 2000, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sectored, err := RunLongitudinal(c2, sec, 0.15, 2000, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FirstDeath == 0 || sectored.FirstDeath == 0 {
+		t.Skip("batteries outlived the horizon; raise rate or shrink batteries")
+	}
+	// Fig. 7(c) longitudinally: sectors delay the first death.
+	if sectored.FirstDeath <= plain.FirstDeath {
+		t.Fatalf("sectored first death %v should come after plain %v",
+			sectored.FirstDeath, plain.FirstDeath)
+	}
+}

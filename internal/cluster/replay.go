@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// ReplaySchedule plays a pipelined polling schedule on the discrete-event
+// kernel in continuous time — head poll broadcast, then the slot's data
+// transmissions, slot after slot — and verifies at the physical layer that
+// every scheduled reception actually decodes under accumulated
+// interference. It is the bridge between the slot-synchronous abstraction
+// the scheduler works in and the event-level radio model: a schedule that
+// validates here can be executed verbatim by real slot timing.
+//
+// It returns the replay's wall duration and an error describing the first
+// physical violation, if any.
+func ReplaySchedule(c *topo.Cluster, sched *core.Schedule, p Params) (time.Duration, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	eng := &sim.Engine{}
+	med := c.Med
+	pollT := p.txTime(p.PollBytes)
+	dataT := p.txTime(p.DataBytes)
+	slotDur := pollT + dataT
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			eng.Stop()
+		}
+	}
+
+	for s, group := range sched.Slots {
+		s, group := s, group
+		slotStart := time.Duration(s) * slotDur
+		// The head's poll broadcast opens the slot. Every sensor must be
+		// able to decode it on a quiet channel (the head's power covers
+		// the cluster); interference inside the slot cannot overlap it
+		// because data transmissions wait for the broadcast to end.
+		eng.At(slotStart, func() {
+			for v := 1; v < med.N(); v++ {
+				if c.Level[v] > 0 && !med.InRange(topo.Head, v) {
+					fail(fmt.Errorf("cluster: slot %d: sensor %d cannot hear the poll broadcast", s, v))
+					return
+				}
+			}
+		})
+		// Data transmissions start together after the broadcast and
+		// overlap in time; SINR with the full concurrent set decides
+		// reception.
+		eng.At(slotStart+pollT, func() {
+			for i := range group {
+				if !med.Receives(group, i) {
+					fail(fmt.Errorf("cluster: slot %d: transmission %v fails under accumulated interference (group %v)",
+						s, group[i], group))
+					return
+				}
+			}
+		})
+	}
+	total := time.Duration(len(sched.Slots)) * slotDur
+	eng.Run(total)
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return total, nil
+}
+
+// ReplayCycleSchedules builds one cycle's data schedule exactly as the
+// runner would (same routes, same requests, lossless) and replays it,
+// returning the schedule, the replay duration, and any physical violation.
+// A convenience for verification tools and tests.
+func ReplayCycleSchedules(c *topo.Cluster, p Params) (*core.Schedule, time.Duration, error) {
+	r, err := NewRunner(c, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	routes := r.Plan.CycleRoutes(0)
+	var reqs []core.Request
+	id := 0
+	for v := 1; v <= c.Sensors(); v++ {
+		if c.Level[v] <= 0 {
+			continue
+		}
+		for k := 0; k < r.demand[v]; k++ {
+			id++
+			reqs = append(reqs, core.Request{ID: id, Route: routes[v]})
+		}
+	}
+	sched, _, err := core.Greedy(reqs, core.Options{Oracle: r.Oracle})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := core.Validate(sched, reqs, radio.SINROracle{M: c.Med}); err != nil {
+		return nil, 0, fmt.Errorf("cluster: schedule invalid before replay: %w", err)
+	}
+	d, err := ReplaySchedule(c, sched, p)
+	return sched, d, err
+}

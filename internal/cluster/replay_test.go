@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+	"repro/internal/topo"
+)
+
+func TestReplayAcceptsScheduledCycle(t *testing.T) {
+	c, err := topo.Build(topo.DefaultConfig(25, 181))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.RateBps = 40
+	p.LossProb = 0
+	sched, dur, err := ReplayCycleSchedules(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Makespan() == 0 {
+		t.Fatal("empty schedule")
+	}
+	want := time.Duration(sched.Makespan()) * p.dataSlot()
+	if dur != want {
+		t.Fatalf("replay duration %v want %v", dur, want)
+	}
+}
+
+func TestReplayRejectsCollidingSchedule(t *testing.T) {
+	c, err := topo.Build(topo.DefaultConfig(20, 191))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	// Hand-craft a colliding slot: two sensors transmitting to the head
+	// simultaneously.
+	var senders []int
+	for v := 1; v <= 20 && len(senders) < 2; v++ {
+		if c.Level[v] == 1 {
+			senders = append(senders, v)
+		}
+	}
+	if len(senders) < 2 {
+		t.Skip("not enough first-level sensors")
+	}
+	sched := &core.Schedule{
+		Slots: [][]radio.Transmission{{
+			{From: senders[0], To: topo.Head},
+			{From: senders[1], To: topo.Head},
+		}},
+		Start:     map[int]int{},
+		Completed: map[int]int{},
+	}
+	if _, err := ReplaySchedule(c, sched, p); err == nil {
+		t.Fatal("two simultaneous transmissions to the head must fail the replay")
+	}
+}
+
+func TestReplayRejectsBadParams(t *testing.T) {
+	c, err := topo.Build(topo.DefaultConfig(5, 193))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.M = 0
+	if _, err := ReplaySchedule(c, &core.Schedule{}, p); err == nil {
+		t.Fatal("invalid params should error")
+	}
+}
+
+func TestReplayWithSectorsRoutes(t *testing.T) {
+	// Replay must also accept schedules built over sector-tree routes.
+	c, err := topo.Build(topo.DefaultConfig(25, 197))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.UseSectors = true
+	p.LossProb = 0
+	r, err := NewRunner(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, group := range r.groups {
+		var reqs []core.Request
+		id := 0
+		for _, v := range group {
+			id++
+			reqs = append(reqs, core.Request{ID: id, Route: r.groupRoutes[g][v]})
+		}
+		sched, _, err := core.Greedy(reqs, core.Options{Oracle: r.Oracle})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReplaySchedule(c, sched, p); err != nil {
+			t.Fatalf("sector %d replay failed: %v", g, err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/topo"
+)
+
+// The paper refuses to assume disc-shaped coverage: "a number of factors
+// ... can make the covering area very oddly shaped and might not even be
+// convex." Because the whole pipeline works from the *tested* connectivity
+// and interference patterns rather than geometry, it must keep working
+// under log-distance propagation with heavy per-link shadowing.
+func TestClusterWorksUnderShadowedPropagation(t *testing.T) {
+	prop := radio.NewLogDistance(3.5, 1)
+	prop.ShadowDB = radio.HashShadow(23, 4)
+	cfg := topo.DefaultConfig(25, 167)
+	cfg.Prop = prop
+	c, err := topo.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shadowing must actually produce asymmetric links somewhere: find a
+	// pair decodable one way but not the other.
+	asym := 0
+	for u := 1; u <= 25; u++ {
+		for v := 1; v <= 25; v++ {
+			if u != v && c.Med.InRange(u, v) && !c.Med.InRange(v, u) {
+				asym++
+			}
+		}
+	}
+	if asym == 0 {
+		t.Fatal("4 dB shadowing should create asymmetric links")
+	}
+
+	p := DefaultParams()
+	p.RateBps = 20
+	p.LossProb = 0
+	r, err := NewRunner(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DeliveredFraction() != 1 {
+		t.Fatalf("shadowed cluster delivered %v", s.DeliveredFraction())
+	}
+	if !s.AllFit {
+		t.Fatal("light load should fit even under shadowing")
+	}
+}
+
+func TestOverheadAccountedInDuty(t *testing.T) {
+	// The duty must decompose exactly into wake + ack slots + data slots
+	// + sleep, i.e. all protocol overhead is charged.
+	c, err := topo.Build(topo.DefaultConfig(15, 173))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.LossProb = 0
+	r, err := NewRunner(c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollT := p.txTime(p.PollBytes)
+	want := 2*pollT + // wake + sleep broadcasts
+		time.Duration(res.AckSlots)*p.ackSlot() +
+		time.Duration(res.DataSlots)*p.dataSlot()
+	if res.Duty != want {
+		t.Fatalf("duty %v != decomposition %v", res.Duty, want)
+	}
+}

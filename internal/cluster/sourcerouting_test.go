@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestSourceRoutingCostsAirtime(t *testing.T) {
+	c, err := topo.Build(topo.DefaultConfig(25, 73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultParams()
+	base.LossProb = 0
+	base.RateBps = 40
+	src := base
+	src.SourceRouting = true
+
+	plain, err := NewRunner(c, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := NewRunner(c, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := plain.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := routed.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical schedules (same slots) but longer slots -> longer duty.
+	if ss.MeanDataSlots != sp.MeanDataSlots {
+		t.Fatalf("source routing changed slot counts: %v vs %v",
+			ss.MeanDataSlots, sp.MeanDataSlots)
+	}
+	if ss.MeanDuty <= sp.MeanDuty {
+		t.Fatalf("source routing duty %v should exceed dependent-table duty %v",
+			ss.MeanDuty, sp.MeanDuty)
+	}
+	// Both still deliver everything.
+	if ss.DeliveredFraction() != 1 || sp.DeliveredFraction() != 1 {
+		t.Fatal("both mechanisms must deliver all packets")
+	}
+	// The paper's point: the header "will add length to the data packets
+	// and waste energy" — per-sensor energy goes up.
+	var plainE, routedE float64
+	for v := 1; v <= 25; v++ {
+		plainE += sp.MeanProfiles[v].InTx.Seconds()
+		routedE += ss.MeanProfiles[v].InTx.Seconds()
+	}
+	if routedE <= plainE {
+		t.Fatalf("source routing tx time %v should exceed %v", routedE, plainE)
+	}
+}

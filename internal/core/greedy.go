@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/radio"
+)
+
+// Greedy runs the paper's on-line polling algorithm (Table 1).
+//
+// Each packet is a polling request; requests start active. Before every
+// time slot the head scans the active requests in a fixed order and admits
+// a request if its pipelined transmissions do not collide with the
+// already-scheduled ones in any affected slot (and no slot exceeds M
+// concurrent transmissions). Admitted requests become idle. Because the
+// head knows each admitted packet's start slot and hop count, it knows
+// exactly when to expect the packet; if the packet does not arrive —
+// packet loss — the request becomes active again and is re-polled.
+//
+// Greedy returns the schedule as instructed by the head (lost hops keep
+// their reserved slots) and the physical statistics of the run.
+func Greedy(reqs []Request, opt Options) (*Schedule, *Stats, error) {
+	if opt.Oracle == nil {
+		return nil, nil, fmt.Errorf("core: Options.Oracle is required")
+	}
+	order, err := scanOrder(reqs, opt.Order)
+	if err != nil {
+		return nil, nil, err
+	}
+	totalHops := 0
+	for _, r := range reqs {
+		if err := r.Validate(); err != nil {
+			return nil, nil, err
+		}
+		totalHops += r.Hops()
+	}
+	maxSlots := opt.MaxSlots
+	if maxSlots == 0 {
+		maxSlots = 64 * (totalHops + 1)
+	}
+	if opt.AllowDelay {
+		return greedyDelay(reqs, order, opt, maxSlots)
+	}
+	return greedyPipelined(reqs, order, opt, maxSlots)
+}
+
+func scanOrder(reqs []Request, order []int) ([]int, error) {
+	if order == nil {
+		order = make([]int, len(reqs))
+		for i := range order {
+			order[i] = i
+		}
+		return order, nil
+	}
+	if len(order) != len(reqs) {
+		return nil, fmt.Errorf("core: order has %d entries for %d requests", len(order), len(reqs))
+	}
+	seen := make([]bool, len(reqs))
+	for _, i := range order {
+		if i < 0 || i >= len(reqs) || seen[i] {
+			return nil, fmt.Errorf("core: order is not a permutation")
+		}
+		seen[i] = true
+	}
+	return append([]int(nil), order...), nil
+}
+
+// flight tracks one admitted (in-flight) request.
+type flight struct {
+	req       int // index into reqs
+	start     int
+	firstLoss int // hop index whose transmission is lost, or -1
+}
+
+func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots int) (*Schedule, *Stats, error) {
+	m := opt.maxConcurrent()
+	sched := &Schedule{Start: make(map[int]int), Completed: make(map[int]int)}
+	st := newStats()
+
+	active := make([]bool, len(reqs))
+	remaining := len(reqs)
+	for i := range reqs {
+		active[i] = true
+	}
+	arrivals := make(map[int][]flight)
+
+	slotAt := func(s int) []radio.Transmission {
+		for len(sched.Slots) <= s {
+			sched.Slots = append(sched.Slots, nil)
+		}
+		return sched.Slots[s]
+	}
+
+	for slot := 0; remaining > 0; slot++ {
+		if slot >= maxSlots {
+			return sched, st, fmt.Errorf("core: polling exceeded %d slots with %d packets outstanding", maxSlots, remaining)
+		}
+		// Admission scan (the inner while-loop of Table 1): add active
+		// requests whose pipelined hops fit.
+		for _, idx := range order {
+			if !active[idx] {
+				continue
+			}
+			r := reqs[idx]
+			if !fits(sched, r, slot, m, opt.Oracle) {
+				continue
+			}
+			// Commit every hop to its slot.
+			for k := 0; k < r.Hops(); k++ {
+				s := slot + k
+				slotAt(s)
+				sched.Slots[s] = append(sched.Slots[s], r.Tx(k))
+			}
+			f := flight{req: idx, start: slot, firstLoss: -1}
+			if opt.Loss != nil {
+				for k := 0; k < r.Hops(); k++ {
+					if opt.Loss(slot+k, r.Tx(k)) {
+						f.firstLoss = k
+						break
+					}
+				}
+			}
+			done := slot + r.Hops() - 1
+			arrivals[done] = append(arrivals[done], f)
+			active[idx] = false
+			sched.Start[r.ID] = slot
+			// Physical accounting: hops up to and including the lost one
+			// actually transmit; later hops have nothing to forward.
+			lastHop := r.Hops() - 1
+			if f.firstLoss >= 0 {
+				lastHop = f.firstLoss
+			}
+			for k := 0; k <= lastHop; k++ {
+				tx := r.Tx(k)
+				st.markTx(tx.From, slot+k)
+				st.markRx(tx.To, slot+k)
+			}
+		}
+		// End of slot: the head checks expected arrivals.
+		for _, f := range arrivals[slot] {
+			if f.firstLoss >= 0 {
+				st.Retries++
+				active[f.req] = true
+			} else {
+				sched.Completed[reqs[f.req].ID] = slot
+				remaining--
+			}
+		}
+		delete(arrivals, slot)
+	}
+	st.Slots = len(sched.Slots)
+	return sched, st, nil
+}
+
+// fits reports whether request r, started at slot, keeps every affected
+// slot's transmission group compatible and within the concurrency cap m
+// (m == 0 means uncapped).
+func fits(sched *Schedule, r Request, slot, m int, oracle radio.CompatibilityOracle) bool {
+	group := make([]radio.Transmission, 0, 8)
+	for k := 0; k < r.Hops(); k++ {
+		s := slot + k
+		var existing []radio.Transmission
+		if s < len(sched.Slots) {
+			existing = sched.Slots[s]
+		}
+		if m > 0 && len(existing)+1 > m {
+			return false
+		}
+		group = group[:0]
+		group = append(group, existing...)
+		group = append(group, r.Tx(k))
+		if !oracle.Compatible(group) {
+			return false
+		}
+	}
+	return true
+}
+
+// greedyDelay is the delay-allowed variant: every hop is scheduled
+// independently and a relay may hold a packet across slots. On loss the
+// failed hop is retried from the node that still holds the packet.
+func greedyDelay(reqs []Request, order []int, opt Options, maxSlots int) (*Schedule, *Stats, error) {
+	m := opt.maxConcurrent()
+	sched := &Schedule{Start: make(map[int]int), Completed: make(map[int]int)}
+	st := newStats()
+
+	pos := make([]int, len(reqs)) // current holder index within the route
+	remaining := len(reqs)
+
+	for slot := 0; remaining > 0; slot++ {
+		if slot >= maxSlots {
+			return sched, st, fmt.Errorf("core: polling exceeded %d slots with %d packets outstanding", maxSlots, remaining)
+		}
+		var group []radio.Transmission
+		var movers []int
+		for _, idx := range order {
+			r := reqs[idx]
+			if pos[idx] >= r.Hops() {
+				continue
+			}
+			tx := r.Tx(pos[idx])
+			if m > 0 && len(group)+1 > m {
+				continue
+			}
+			cand := append(append([]radio.Transmission(nil), group...), tx)
+			if !opt.Oracle.Compatible(cand) {
+				continue
+			}
+			group = cand
+			movers = append(movers, idx)
+			if pos[idx] == 0 {
+				if _, started := sched.Start[r.ID]; !started {
+					sched.Start[r.ID] = slot
+				}
+			}
+		}
+		sched.Slots = append(sched.Slots, group)
+		for gi, idx := range movers {
+			r := reqs[idx]
+			tx := group[gi]
+			st.markTx(tx.From, slot)
+			st.markRx(tx.To, slot)
+			if opt.Loss != nil && opt.Loss(slot, tx) {
+				st.Retries++
+				continue // holder keeps the packet; hop retried later
+			}
+			pos[idx]++
+			if pos[idx] == r.Hops() {
+				sched.Completed[r.ID] = slot
+				remaining--
+			}
+		}
+	}
+	st.Slots = len(sched.Slots)
+	return sched, st, nil
+}
+
+// RandomLoss returns a LossFn that loses each transmission independently
+// with probability p, deterministically derived from the given seed and
+// the (slot, transmission) pair so that runs are reproducible.
+func RandomLoss(seed int64, p float64) LossFn {
+	if p < 0 || p > 1 {
+		panic("core: loss probability outside [0,1]")
+	}
+	return ProbLoss(seed, func(radio.Transmission) float64 { return p })
+}
+
+// ProbLoss returns a LossFn with a per-transmission loss probability given
+// by prob (e.g. derived from each link's SNR margin via radio.Quality),
+// deterministic per (seed, slot, transmission).
+func ProbLoss(seed int64, prob func(tx radio.Transmission) float64) LossFn {
+	return func(slot int, tx radio.Transmission) bool {
+		p := prob(tx)
+		if p <= 0 {
+			return false
+		}
+		if p >= 1 {
+			return true
+		}
+		h := seed
+		h = h*1000003 + int64(slot)
+		h = h*1000003 + int64(tx.From)
+		h = h*1000003 + int64(tx.To)
+		rng := rand.New(rand.NewSource(h))
+		return rng.Float64() < p
+	}
+}

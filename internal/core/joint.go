@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// Joint Multi-Hop Routing and Polling (Section III-E). The paper defines
+// a sensor's power consumption rate as a*load + b*T — transmission load
+// plus idle listening over the polling time T — and asks for relaying
+// paths AND a schedule minimizing the maximum rate. JMHRP is NP-hard
+// (it contains TSRFP), which is why the system decomposes into the flow
+// routing of Section III-A followed by the greedy scheduler. The exact
+// solver here enumerates all routings on tiny clusters and solves each
+// with the branch-and-bound scheduler, so the decomposition's optimality
+// gap can be measured.
+
+// JointInstance is one JMHRP problem: a connectivity graph, per-sensor
+// demand, the interference oracle and the rate coefficients.
+type JointInstance struct {
+	G      *graph.Undirected
+	Head   int
+	Demand []int
+	Oracle radio.CompatibilityOracle
+	// Alpha weights transmission load, Beta weights polling time in the
+	// power consumption rate alpha*load + beta*T.
+	Alpha, Beta float64
+}
+
+// JointSolution is one routing-plus-schedule outcome.
+type JointSolution struct {
+	// Routes[v] is the relaying path chosen for sensor v.
+	Routes map[int][]int
+	// Makespan is the schedule length T in slots.
+	Makespan int
+	// MaxRate is the maximum per-sensor power consumption rate
+	// alpha*load + beta*T.
+	MaxRate float64
+}
+
+// rate computes the max power consumption rate for the given routes and
+// makespan.
+func (ji *JointInstance) rate(routes map[int][]int, makespan int) (float64, error) {
+	load := make([]int, ji.G.N())
+	for v, d := range ji.Demand {
+		if d == 0 {
+			continue
+		}
+		r := routes[v]
+		if r == nil {
+			return 0, fmt.Errorf("core: sensor %d has demand but no route", v)
+		}
+		for _, x := range r[:len(r)-1] {
+			load[x] += d
+		}
+	}
+	max := 0.0
+	for v := range load {
+		if v == ji.Head {
+			continue
+		}
+		rate := ji.Alpha*float64(load[v]) + ji.Beta*float64(makespan)
+		if rate > max {
+			max = rate
+		}
+	}
+	return max, nil
+}
+
+// requestsFor expands routes into polling requests.
+func (ji *JointInstance) requestsFor(routes map[int][]int) []Request {
+	var reqs []Request
+	id := 0
+	for v := 0; v < ji.G.N(); v++ {
+		for k := 0; k < ji.Demand[v]; k++ {
+			id++
+			reqs = append(reqs, Request{ID: id, Route: routes[v]})
+		}
+	}
+	return reqs
+}
+
+// SolveJointExact enumerates every combination of simple relaying paths
+// (up to maxPathsPerSensor shortest-ish candidates per sensor, to bound
+// the product) and schedules each with the exact branch-and-bound solver,
+// returning the routing+schedule minimizing the maximum power rate.
+// Exponential; intended for clusters of at most ~6 demand-bearing sensors.
+func (ji *JointInstance) SolveJointExact(maxPathsPerSensor int) (*JointSolution, error) {
+	var sensors []int
+	for v, d := range ji.Demand {
+		if d > 0 {
+			if v == ji.Head {
+				return nil, fmt.Errorf("core: head cannot have demand")
+			}
+			sensors = append(sensors, v)
+		}
+	}
+	if len(sensors) > 6 {
+		return nil, fmt.Errorf("core: joint solver limited to 6 demand-bearing sensors, got %d", len(sensors))
+	}
+	cands := make([][][]int, len(sensors))
+	for i, v := range sensors {
+		paths := simplePaths(ji.G, v, ji.Head, maxPathsPerSensor)
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("core: sensor %d has no path to the head", v)
+		}
+		cands[i] = paths
+	}
+
+	best := (*JointSolution)(nil)
+	routes := make(map[int][]int, len(sensors))
+	var enumerate func(i int) error
+	enumerate = func(i int) error {
+		if i == len(sensors) {
+			reqs := ji.requestsFor(routes)
+			sched, err := Optimal(reqs, Options{Oracle: ji.Oracle})
+			if err != nil {
+				return err
+			}
+			rate, err := ji.rate(routes, sched.Makespan())
+			if err != nil {
+				return err
+			}
+			if best == nil || rate < best.MaxRate {
+				cp := make(map[int][]int, len(routes))
+				for v, r := range routes {
+					cp[v] = append([]int(nil), r...)
+				}
+				best = &JointSolution{Routes: cp, Makespan: sched.Makespan(), MaxRate: rate}
+			}
+			return nil
+		}
+		for _, p := range cands[i] {
+			routes[sensors[i]] = p
+			if err := enumerate(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := enumerate(0); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// SolveDecomposed evaluates the paper's decomposition on the same
+// instance: the caller supplies the routes chosen by the flow computation
+// and the scheduler to use (exact or greedy); the rate is measured the
+// same way.
+func (ji *JointInstance) SolveDecomposed(routes map[int][]int, exact bool) (*JointSolution, error) {
+	reqs := ji.requestsFor(routes)
+	var makespan int
+	if exact {
+		sched, err := Optimal(reqs, Options{Oracle: ji.Oracle})
+		if err != nil {
+			return nil, err
+		}
+		makespan = sched.Makespan()
+	} else {
+		sched, _, err := Greedy(reqs, Options{Oracle: ji.Oracle})
+		if err != nil {
+			return nil, err
+		}
+		makespan = sched.Makespan()
+	}
+	rate, err := ji.rate(routes, makespan)
+	if err != nil {
+		return nil, err
+	}
+	return &JointSolution{Routes: routes, Makespan: makespan, MaxRate: rate}, nil
+}
+
+// simplePaths returns up to max simple paths from src to dst, shortest
+// first. All simple paths are enumerated (with a generous safety cap)
+// before sorting, so truncation keeps the genuinely shortest candidates.
+func simplePaths(g *graph.Undirected, src, dst, max int) [][]int {
+	if max < 1 {
+		max = 1
+	}
+	const hardCap = 4096 // safety bound; tiny joint instances stay far below
+	var out [][]int
+	visited := make([]bool, g.N())
+	var path []int
+	var dfs func(v int)
+	dfs = func(v int) {
+		if len(out) >= hardCap {
+			return
+		}
+		path = append(path, v)
+		visited[v] = true
+		if v == dst {
+			out = append(out, append([]int(nil), path...))
+		} else {
+			for _, w := range g.Neighbors(v) {
+				if !visited[w] {
+					dfs(w)
+				}
+			}
+		}
+		visited[v] = false
+		path = path[:len(path)-1]
+	}
+	dfs(src)
+	// Shortest first, then truncate.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && len(out[j]) < len(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// jointFixture builds a 4-sensor diamond cluster where routing matters: a
+// second-level sensor can relay through either branch.
+func jointFixture() *JointInstance {
+	g := graph.NewUndirected(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 4)
+	o := radio.NewTableOracle()
+	// Branch transmissions across different branches are compatible.
+	pairs := [][2]radio.Transmission{
+		{{From: 3, To: 1}, {From: 2, To: 0}},
+		{{From: 3, To: 2}, {From: 1, To: 0}},
+		{{From: 4, To: 1}, {From: 2, To: 0}},
+	}
+	for _, p := range pairs {
+		o.AllowPair(p[0], p[1])
+	}
+	return &JointInstance{
+		G:      g,
+		Head:   0,
+		Demand: []int{0, 1, 1, 1, 1},
+		Oracle: o,
+		Alpha:  1,
+		Beta:   0.5,
+	}
+}
+
+func TestJointExactBeatsOrMatchesDecomposed(t *testing.T) {
+	ji := jointFixture()
+	joint, err := ji.SolveJointExact(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decomposed: route 3 through 1 (a deliberately bad choice that
+	// overloads sensor 1, which also relays 4).
+	bad := map[int][]int{
+		1: {1, 0}, 2: {2, 0}, 3: {3, 1, 0}, 4: {4, 1, 0},
+	}
+	dec, err := ji.SolveDecomposed(bad, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.MaxRate > dec.MaxRate {
+		t.Fatalf("joint optimum %v worse than a fixed routing %v", joint.MaxRate, dec.MaxRate)
+	}
+	// The joint optimum must route 3 via 2 to balance the load.
+	if r := joint.Routes[3]; r[1] != 2 {
+		t.Fatalf("joint optimum routes 3 via %d, want 2 (load balance)", r[1])
+	}
+}
+
+func TestJointSolverValidation(t *testing.T) {
+	ji := jointFixture()
+	ji.Demand = []int{1, 1, 1, 1, 1} // head demand
+	if _, err := ji.SolveJointExact(3); err == nil {
+		t.Error("head demand should error")
+	}
+	ji = jointFixture()
+	big := graph.NewUndirected(9)
+	for v := 1; v < 9; v++ {
+		big.AddEdge(0, v)
+	}
+	ji.G = big
+	ji.Demand = []int{0, 1, 1, 1, 1, 1, 1, 1, 1}
+	if _, err := ji.SolveJointExact(2); err == nil {
+		t.Error("oversize instance should error")
+	}
+	// Unreachable sensor.
+	g2 := graph.NewUndirected(3)
+	g2.AddEdge(0, 1)
+	ji2 := &JointInstance{G: g2, Head: 0, Demand: []int{0, 0, 1},
+		Oracle: radio.NewTableOracle(), Alpha: 1, Beta: 1}
+	if _, err := ji2.SolveJointExact(2); err == nil {
+		t.Error("unreachable sensor should error")
+	}
+}
+
+func TestSimplePaths(t *testing.T) {
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	paths := simplePaths(g, 3, 0, 10)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		if p[0] != 3 || p[len(p)-1] != 0 {
+			t.Fatalf("bad endpoints: %v", p)
+		}
+	}
+	// Truncation keeps the shortest.
+	one := simplePaths(g, 3, 0, 1)
+	if len(one) != 1 {
+		t.Fatalf("truncated = %v", one)
+	}
+}
+
+func TestJointDecomposedGreedyNeverBeatsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 10; trial++ {
+		ji := jointFixture()
+		// Random routing choices among candidates.
+		routes := map[int][]int{1: {1, 0}, 2: {2, 0}, 4: {4, 1, 0}}
+		if rng.Intn(2) == 0 {
+			routes[3] = []int{3, 1, 0}
+		} else {
+			routes[3] = []int{3, 2, 0}
+		}
+		exact, err := ji.SolveDecomposed(routes, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := ji.SolveDecomposed(routes, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy.Makespan < exact.Makespan {
+			t.Fatalf("trial %d: greedy %d beat exact %d", trial, greedy.Makespan, exact.Makespan)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/radio"
+)
+
+func TestOptimalFig2(t *testing.T) {
+	reqs, o := fig2Instance()
+	sched, err := Optimal(reqs, Options{Oracle: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Makespan() != 2 {
+		t.Fatalf("optimal makespan = %d want 2", sched.Makespan())
+	}
+	if err := Validate(sched, reqs, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 60; trial++ {
+		reqs, o := randomInstance(rng)
+		g, _, err := Greedy(reqs, Options{Oracle: o})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, err := Optimal(reqs, Options{Oracle: o})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if opt.Makespan() > g.Makespan() {
+			t.Fatalf("trial %d: optimal %d > greedy %d", trial, opt.Makespan(), g.Makespan())
+		}
+		if err := Validate(opt, reqs, o); err != nil {
+			t.Fatalf("trial %d: optimal schedule invalid: %v", trial, err)
+		}
+		// Same lower bounds as greedy.
+		if opt.Makespan() < len(reqs) {
+			t.Fatalf("trial %d: optimal %d below arrival bound %d", trial, opt.Makespan(), len(reqs))
+		}
+	}
+}
+
+func TestOptimalBeatsBadGreedyOrder(t *testing.T) {
+	// A case where greedy's fixed scan order is suboptimal: two long
+	// requests that conflict pairwise and one short one compatible with
+	// the second long one only. Scanning short-first wastes parallelism.
+	long1 := Request{ID: 1, Route: []int{10, 11, 0}}
+	long2 := Request{ID: 2, Route: []int{20, 21, 0}}
+	short := Request{ID: 3, Route: []int{30, 0}}
+	o := radio.NewTableOracle()
+	// short's tx is compatible with long2's first hop only.
+	o.AllowPair(short.Tx(0), long2.Tx(0))
+	reqs := []Request{short, long1, long2}
+	g, _, err := Greedy(reqs, Options{Oracle: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimal(reqs, Options{Oracle: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Makespan() > g.Makespan() {
+		t.Fatalf("optimal %d > greedy %d", opt.Makespan(), g.Makespan())
+	}
+	if err := Validate(opt, reqs, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalRejectsUnsupportedModes(t *testing.T) {
+	reqs, o := fig2Instance()
+	if _, err := Optimal(reqs, Options{Oracle: o, Loss: RandomLoss(1, 0.5)}); err == nil {
+		t.Error("lossy optimal should error")
+	}
+	if _, err := Optimal(reqs, Options{Oracle: o, AllowDelay: true}); err == nil {
+		t.Error("delay-allowed optimal should error")
+	}
+	if _, err := Optimal(reqs, Options{}); err == nil {
+		t.Error("missing oracle should error")
+	}
+	big := make([]Request, 17)
+	for i := range big {
+		big[i] = Request{ID: i + 1, Route: []int{i + 1, 0}}
+	}
+	if _, err := Optimal(big, Options{Oracle: o}); err == nil {
+		t.Error("oversize instance should error")
+	}
+}
+
+func TestOptimalEmpty(t *testing.T) {
+	o := radio.NewTableOracle()
+	sched, err := Optimal(nil, Options{Oracle: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Makespan() != 0 {
+		t.Fatalf("empty optimal makespan = %d", sched.Makespan())
+	}
+}
+
+func TestOptimalRespectsM(t *testing.T) {
+	o := radio.NewTableOracle()
+	var reqs []Request
+	for i := 0; i < 4; i++ {
+		reqs = append(reqs, Request{ID: i + 1, Route: []int{10 + i, 20 + i}})
+	}
+	for i := range reqs {
+		for j := i + 1; j < len(reqs); j++ {
+			o.AllowPair(reqs[i].Tx(0), reqs[j].Tx(0))
+		}
+	}
+	sched, err := Optimal(reqs, Options{Oracle: o, MaxConcurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Makespan() != 2 {
+		t.Fatalf("makespan = %d want 2", sched.Makespan())
+	}
+	for s, g := range sched.Slots {
+		if len(g) > 2 {
+			t.Fatalf("slot %d has %d > M transmissions", s, len(g))
+		}
+	}
+}
+
+func TestValidateRejectsBrokenSchedules(t *testing.T) {
+	reqs, o := fig2Instance()
+	sched, _, err := Greedy(reqs, Options{Oracle: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove a completion.
+	delete(sched.Completed, 1)
+	if Validate(sched, reqs, o) == nil {
+		t.Error("missing completion should fail validation")
+	}
+	sched, _, _ = Greedy(reqs, Options{Oracle: o})
+	// Tamper with a slot to create a collision.
+	sched.Slots[1] = append(sched.Slots[1], radio.Transmission{From: 9, To: 0})
+	if Validate(sched, reqs, o) == nil {
+		t.Error("duplicate-receiver slot should fail validation")
+	}
+	sched, _, _ = Greedy(reqs, Options{Oracle: o})
+	// Shift a start to break pipelining.
+	sched.Start[1]++
+	if Validate(sched, reqs, o) == nil {
+		t.Error("shifted start should fail validation")
+	}
+	// Never-admitted request.
+	sched, _, _ = Greedy(reqs, Options{Oracle: o})
+	extra := append(append([]Request(nil), reqs...), Request{ID: 99, Route: []int{7, 0}})
+	if Validate(sched, extra, o) == nil {
+		t.Error("unknown request should fail validation")
+	}
+}
+
+func TestValidateDelayedRejects(t *testing.T) {
+	reqs := []Request{{ID: 1, Route: []int{2, 1, 0}}}
+	o := radio.NewTableOracle()
+	sched, _, err := Greedy(reqs, Options{Oracle: o, AllowDelay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateDelayed(sched, reqs, o); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the second hop.
+	broken := &Schedule{
+		Slots:     [][]radio.Transmission{{reqs[0].Tx(0)}},
+		Start:     map[int]int{1: 0},
+		Completed: map[int]int{1: 0},
+	}
+	if ValidateDelayed(broken, reqs, o) == nil {
+		t.Error("missing hop should fail delayed validation")
+	}
+	broken.Completed = map[int]int{}
+	if ValidateDelayed(broken, reqs, o) == nil {
+		t.Error("missing completion should fail delayed validation")
+	}
+}
+
+func TestRequestAccessors(t *testing.T) {
+	r := Request{ID: 5, Route: []int{3, 2, 0}}
+	if r.Hops() != 2 {
+		t.Fatalf("Hops = %d", r.Hops())
+	}
+	if r.Tx(0) != (radio.Transmission{From: 3, To: 2}) {
+		t.Fatalf("Tx(0) = %v", r.Tx(0))
+	}
+	if r.Tx(1) != (radio.Transmission{From: 2, To: 0}) {
+		t.Fatalf("Tx(1) = %v", r.Tx(1))
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Request{ID: 1, Route: []int{-1, 0}}).Validate() == nil {
+		t.Error("negative node should fail")
+	}
+}
+
+func TestScheduleTransmissions(t *testing.T) {
+	reqs, o := fig2Instance()
+	sched, _, err := Greedy(reqs, Options{Oracle: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Transmissions() != 3 {
+		t.Fatalf("Transmissions = %d want 3", sched.Transmissions())
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	reqs, o := fig2Instance()
+	sched, _, err := Greedy(reqs, Options{Oracle: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sched.String()
+	want := "slot 1: 2->1 3->0\nslot 2: 1->0\n"
+	if got != want {
+		t.Fatalf("String() = %q want %q", got, want)
+	}
+	empty := &Schedule{Slots: [][]radio.Transmission{nil}}
+	if empty.String() != "slot 1: (idle)\n" {
+		t.Fatalf("idle slot rendering = %q", empty.String())
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import "sort"
+
+// Scan-order heuristics for the greedy scheduler. The paper's algorithm
+// scans requests "according to an arbitrarily predetermined order"; the
+// order is a free design knob, and these helpers expose the natural
+// candidates for the ablation (longest-route-first tends to fill the
+// pipeline early; shortest-first drains the head's neighborhood early).
+
+// OrderNatural returns the identity order.
+func OrderNatural(reqs []Request) []int {
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// OrderLongestFirst scans requests with more hops first, ties by index.
+func OrderLongestFirst(reqs []Request) []int {
+	order := OrderNatural(reqs)
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Hops() > reqs[order[b]].Hops()
+	})
+	return order
+}
+
+// OrderShortestFirst scans requests with fewer hops first, ties by index.
+func OrderShortestFirst(reqs []Request) []int {
+	order := OrderNatural(reqs)
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Hops() < reqs[order[b]].Hops()
+	})
+	return order
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/radio"
+)
+
+func TestOrderHelpers(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Route: []int{10, 11, 0}},     // 2 hops
+		{ID: 2, Route: []int{20, 0}},         // 1 hop
+		{ID: 3, Route: []int{30, 31, 32, 0}}, // 3 hops
+		{ID: 4, Route: []int{40, 41, 0}},     // 2 hops
+	}
+	if got := OrderNatural(reqs); got[0] != 0 || got[3] != 3 {
+		t.Fatalf("natural = %v", got)
+	}
+	if got := OrderLongestFirst(reqs); got[0] != 2 || got[3] != 1 {
+		t.Fatalf("longest-first = %v", got)
+	}
+	if got := OrderShortestFirst(reqs); got[0] != 1 || got[3] != 2 {
+		t.Fatalf("shortest-first = %v", got)
+	}
+	// Stability: the two 2-hop requests keep relative order.
+	lf := OrderLongestFirst(reqs)
+	if lf[1] != 0 || lf[2] != 3 {
+		t.Fatalf("ties not stable: %v", lf)
+	}
+}
+
+func TestOrdersAreValidPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		reqs, o := randomInstance(rng)
+		for _, fn := range []func([]Request) []int{
+			OrderNatural, OrderLongestFirst, OrderShortestFirst,
+		} {
+			order := fn(reqs)
+			sched, _, err := Greedy(reqs, Options{Oracle: o, Order: order})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := Validate(sched, reqs, o); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestProbLoss(t *testing.T) {
+	// Per-transmission probabilities: one dead link, one solid.
+	dead := radio.Transmission{From: 1, To: 2}
+	solid := radio.Transmission{From: 3, To: 4}
+	loss := ProbLoss(5, func(tx radio.Transmission) float64 {
+		if tx == dead {
+			return 1
+		}
+		return 0
+	})
+	for s := 0; s < 20; s++ {
+		if !loss(s, dead) {
+			t.Fatal("p=1 link must always lose")
+		}
+		if loss(s, solid) {
+			t.Fatal("p=0 link must never lose")
+		}
+	}
+	// Determinism for intermediate probabilities.
+	mid := ProbLoss(9, func(radio.Transmission) float64 { return 0.5 })
+	if mid(3, solid) != mid(3, solid) {
+		t.Fatal("ProbLoss must be deterministic")
+	}
+}

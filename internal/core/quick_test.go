@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/radio"
+)
+
+// Property-based tests: for arbitrary instances, seeds and loss rates the
+// scheduler must uphold its invariants — complete delivery, collision
+// freedom under the same oracle, pipelining discipline, concurrency caps
+// and lower bounds.
+
+// instanceFrom maps arbitrary fuzz bytes to a polling instance.
+func instanceFrom(seed int64) ([]Request, *radio.TableOracle) {
+	rng := rand.New(rand.NewSource(seed))
+	return randomInstance(rng)
+}
+
+func TestQuickGreedyInvariantsLossless(t *testing.T) {
+	f := func(seed int64, mRaw uint8) bool {
+		reqs, o := instanceFrom(seed)
+		m := int(mRaw%4) + 1
+		sched, st, err := Greedy(reqs, Options{Oracle: o, MaxConcurrent: m})
+		if err != nil {
+			return false
+		}
+		if Validate(sched, reqs, o) != nil {
+			return false
+		}
+		// Concurrency cap.
+		for _, g := range sched.Slots {
+			if len(g) > m {
+				return false
+			}
+		}
+		// Lower bounds: distinct head arrivals and the longest route.
+		maxHops := 0
+		totalHops := 0
+		for _, r := range reqs {
+			totalHops += r.Hops()
+			if r.Hops() > maxHops {
+				maxHops = r.Hops()
+			}
+		}
+		if sched.Makespan() < len(reqs) || sched.Makespan() < maxHops {
+			return false
+		}
+		// Upper bound: one transmission per slot is always feasible, and
+		// admission scans every slot, so makespan can never exceed the
+		// total hop count (lossless).
+		if sched.Makespan() > totalHops {
+			return false
+		}
+		return st.Retries == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGreedyInvariantsLossy(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		reqs, o := instanceFrom(seed)
+		p := float64(pRaw%40) / 100 // 0..0.39
+		sched, st, err := Greedy(reqs, Options{
+			Oracle: o,
+			Loss:   RandomLoss(seed^0x5a5a, p),
+		})
+		if err != nil {
+			// Extreme unlucky loss sequences can exceed the slot cap;
+			// the error itself is the documented behavior.
+			return true
+		}
+		if Validate(sched, reqs, o) != nil {
+			return false
+		}
+		if p == 0 && st.Retries != 0 {
+			return false
+		}
+		// Every request completed exactly once, at start + hops - 1.
+		for _, r := range reqs {
+			done, ok := sched.Completed[r.ID]
+			if !ok || done != sched.Start[r.ID]+r.Hops()-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDelayModeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		reqs, o := instanceFrom(seed)
+		sched, _, err := Greedy(reqs, Options{Oracle: o, AllowDelay: true})
+		if err != nil {
+			return false
+		}
+		return ValidateDelayed(sched, reqs, o) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStatsConservation(t *testing.T) {
+	// Lossless: total transmissions equal total hops; every node's rx
+	// count equals the transmissions addressed to it.
+	f := func(seed int64) bool {
+		reqs, o := instanceFrom(seed)
+		sched, st, err := Greedy(reqs, Options{Oracle: o})
+		if err != nil {
+			return false
+		}
+		totalHops := 0
+		for _, r := range reqs {
+			totalHops += r.Hops()
+		}
+		gotTx, gotRx := 0, 0
+		for _, c := range st.TxCount {
+			gotTx += c
+		}
+		for _, c := range st.RxCount {
+			gotRx += c
+		}
+		return gotTx == totalHops && gotRx == totalHops &&
+			sched.Transmissions() == totalHops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOptimalNeverBeatsBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Smaller instances: the exact solver is exponential.
+		nReq := 1 + rng.Intn(4)
+		var reqs []Request
+		for i := 0; i < nReq; i++ {
+			hops := 1 + rng.Intn(2)
+			route := []int{0}
+			for k := 0; k < hops; k++ {
+				route = append([]int{10 + i*4 + k}, route...)
+			}
+			reqs = append(reqs, Request{ID: i + 1, Route: route})
+		}
+		o := radio.NewTableOracle()
+		var all []radio.Transmission
+		for _, r := range reqs {
+			for k := 0; k < r.Hops(); k++ {
+				all = append(all, r.Tx(k))
+			}
+		}
+		for i := range all {
+			for j := i + 1; j < len(all); j++ {
+				if rng.Float64() < 0.5 {
+					o.AllowPair(all[i], all[j])
+				}
+			}
+		}
+		opt, err := Optimal(reqs, Options{Oracle: o})
+		if err != nil {
+			return false
+		}
+		maxHops := 0
+		for _, r := range reqs {
+			if r.Hops() > maxHops {
+				maxHops = r.Hops()
+			}
+		}
+		return opt.Makespan() >= len(reqs) && opt.Makespan() >= maxHops &&
+			Validate(opt, reqs, o) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

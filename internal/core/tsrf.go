@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// This file reproduces the paper's NP-hardness constructions.
+//
+// Lemma 1 reduces Hamiltonian Path to the TSRF Polling problem (TSRFP). A
+// TSRF ("two-level star with relaying only in the first level") has n
+// branches s'_i -> s_i -> head; each second-level sensor s'_i holds
+// exactly one packet and first-level sensors hold none. The interference
+// pattern mirrors an arbitrary graph G: s'_i -> s_i is compatible with
+// s_j -> head iff {v_i, v_j} is an edge of G. A schedule finishing in
+// n+1 slots forces the second-level sensors to start back-to-back, and
+// consecutive starts are exactly edges of G — a Hamiltonian path.
+
+// TSRF is a reduction instance: the polling requests, the interference
+// oracle and the branch count.
+type TSRF struct {
+	N      int
+	Reqs   []Request
+	Oracle *radio.TableOracle
+}
+
+// Node-id layout of a TSRF with n branches: head = 0, first-level sensor
+// of branch i (1-based) = i, second-level sensor = n + i.
+func (t *TSRF) head() int        { return 0 }
+func (t *TSRF) first(i int) int  { return i }
+func (t *TSRF) second(i int) int { return t.N + i }
+func (t *TSRF) relayTx(i int) radio.Transmission {
+	return radio.Transmission{From: t.first(i), To: t.head()}
+}
+func (t *TSRF) startTx(i int) radio.Transmission {
+	return radio.Transmission{From: t.second(i), To: t.first(i)}
+}
+
+// TSRFFromGraph builds the TSRFP instance of Lemma 1 for the undirected
+// graph g: one branch per vertex, and for every edge {u,v} of g the pairs
+// (s'_u -> s_u, s_v -> head) and (s'_v -> s_v, s_u -> head) are marked
+// compatible. All other pairs remain incompatible.
+func TSRFFromGraph(g *graph.Undirected) *TSRF {
+	n := g.N()
+	t := &TSRF{N: n, Oracle: radio.NewTableOracle()}
+	for i := 1; i <= n; i++ {
+		t.Reqs = append(t.Reqs, Request{
+			ID:    i,
+			Route: []int{t.second(i), t.first(i), t.head()},
+		})
+	}
+	for _, e := range g.Edges() {
+		u, v := e[0]+1, e[1]+1 // vertices are 0-based, branches 1-based
+		t.Oracle.AllowPair(t.startTx(u), t.relayTx(v))
+		t.Oracle.AllowPair(t.startTx(v), t.relayTx(u))
+	}
+	return t
+}
+
+// OptimalMakespan is the makespan every TSRF schedule must meet for the
+// reduction to answer "yes": the head receives n packets in distinct slots
+// and the first can arrive no earlier than slot 2, so T = n + 1.
+func (t *TSRF) OptimalMakespan() int { return t.N + 1 }
+
+// HamPathToSchedule converts a Hamiltonian path of the source graph
+// (0-based vertices) into an (n+1)-slot TSRF schedule: branch path[k]+1
+// starts in slot k, its relay lands in slot k+1.
+func (t *TSRF) HamPathToSchedule(path []int) (*Schedule, error) {
+	if len(path) != t.N {
+		return nil, fmt.Errorf("core: path visits %d of %d vertices", len(path), t.N)
+	}
+	starts := make([]int, t.N)
+	for k, v := range path {
+		if v < 0 || v >= t.N {
+			return nil, fmt.Errorf("core: vertex %d out of range", v)
+		}
+		starts[v] = k // request index v (branch v+1) starts at slot k
+	}
+	return scheduleFromStarts(t.Reqs, starts), nil
+}
+
+// ScheduleToHamPath converts an (n+1)-slot pipelined TSRF schedule back
+// into a Hamiltonian path of the source graph, or reports why it cannot.
+func (t *TSRF) ScheduleToHamPath(sched *Schedule) ([]int, error) {
+	if sched.Makespan() != t.OptimalMakespan() {
+		return nil, fmt.Errorf("core: schedule uses %d slots, want %d", sched.Makespan(), t.OptimalMakespan())
+	}
+	path := make([]int, t.N)
+	seen := make([]bool, t.N)
+	for i := 1; i <= t.N; i++ {
+		start, ok := sched.Start[i]
+		if !ok {
+			return nil, fmt.Errorf("core: branch %d missing from schedule", i)
+		}
+		if start < 0 || start >= t.N {
+			return nil, fmt.Errorf("core: branch %d starts at slot %d outside [0,%d)", i, start, t.N)
+		}
+		if seen[start] {
+			return nil, fmt.Errorf("core: two branches start at slot %d", start)
+		}
+		seen[start] = true
+		path[start] = i - 1
+	}
+	return path, nil
+}
+
+// SolveTSRFP decides the TSRFP instance exactly (via the branch-and-bound
+// scheduler) and, when the optimal makespan is n+1, returns the implied
+// Hamiltonian path. ok reports whether the n+1 bound was met.
+func (t *TSRF) SolveTSRFP() (path []int, ok bool, err error) {
+	sched, err := Optimal(t.Reqs, Options{Oracle: t.Oracle})
+	if err != nil {
+		return nil, false, err
+	}
+	if sched.Makespan() != t.OptimalMakespan() {
+		return nil, false, nil
+	}
+	p, err := t.ScheduleToHamPath(sched)
+	if err != nil {
+		return nil, false, err
+	}
+	return p, true, nil
+}
+
+// X1MHP is the Exact-One-Packet instance of Theorem 3, built from a TSRF
+// by giving every first-level sensor its own packet and attaching to each
+// branch an auxiliary chain u -> u' -> u” -> u”' whose only external
+// compatibility is (u” -> u', s' -> s).
+type X1MHP struct {
+	Base   *TSRF
+	Reqs   []Request
+	Oracle *radio.TableOracle
+}
+
+// X1MHPFromTSRF performs the Theorem 3 construction. Auxiliary sensors of
+// branch i (1-based) get ids base+4(i-1)+1 .. base+4(i-1)+4 for
+// u, u', u”, u”' respectively, where base = 2n.
+func X1MHPFromTSRF(t *TSRF) *X1MHP {
+	n := t.N
+	x := &X1MHP{Base: t, Oracle: radio.NewTableOracle()}
+	base := 2 * n
+	u := func(i, level int) int { return base + 4*(i-1) + level + 1 } // level 0..3
+	id := 0
+	nextID := func() int { id++; return id }
+
+	for i := 1; i <= n; i++ {
+		// Original branch, now with a first-level packet too.
+		x.Reqs = append(x.Reqs,
+			Request{ID: nextID(), Route: []int{t.second(i), t.first(i), t.head()}},
+			Request{ID: nextID(), Route: []int{t.first(i), t.head()}},
+		)
+		// Auxiliary chain: u''' relays through u'' and u'; u'' relays
+		// through u'; u' and u send directly to the head.
+		x.Reqs = append(x.Reqs,
+			Request{ID: nextID(), Route: []int{u(i, 3), u(i, 2), u(i, 1), t.head()}},
+			Request{ID: nextID(), Route: []int{u(i, 2), u(i, 1), t.head()}},
+			Request{ID: nextID(), Route: []int{u(i, 1), t.head()}},
+			Request{ID: nextID(), Route: []int{u(i, 0), t.head()}},
+		)
+		// The single cross-branch compatibility of the construction.
+		x.Oracle.AllowPair(
+			radio.Transmission{From: u(i, 2), To: u(i, 1)},
+			t.startTx(i),
+		)
+	}
+	// Inherit the TSRF pairwise compatibilities.
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if i == j {
+				continue
+			}
+			if t.Oracle.PairAllowed(t.startTx(i), t.relayTx(j)) {
+				x.Oracle.AllowPair(t.startTx(i), t.relayTx(j))
+			}
+		}
+	}
+	return x
+}
+
+// PacketsPerSensor verifies the X1MHP property: every sensor appears as
+// the source of exactly one request. It returns an error naming the first
+// violation.
+func (x *X1MHP) PacketsPerSensor() error {
+	count := make(map[int]int)
+	for _, r := range x.Reqs {
+		count[r.Route[0]]++
+	}
+	n := x.Base.N
+	for i := 1; i <= n; i++ {
+		sensors := []int{x.Base.first(i), x.Base.second(i)}
+		base := 2 * n
+		for l := 0; l < 4; l++ {
+			sensors = append(sensors, base+4*(i-1)+l+1)
+		}
+		for _, s := range sensors {
+			if count[s] != 1 {
+				return fmt.Errorf("core: sensor %d holds %d packets, want exactly 1", s, count[s])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package energy_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+)
+
+// A sensor that sleeps 99% of the time lives nearly 100x longer than one
+// that idles constantly — the paper's core energy argument.
+func ExampleLifetime() {
+	m := energy.DefaultModel()
+	battery := 1000.0 // joules
+
+	alwaysIdle := energy.CycleProfile{
+		Cycle:  10 * time.Second,
+		InIdle: 10 * time.Second,
+	}
+	mostlyAsleep := energy.CycleProfile{
+		Cycle:  10 * time.Second,
+		InIdle: 100 * time.Millisecond,
+	}
+	li := energy.Lifetime(m, alwaysIdle, battery)
+	ls := energy.Lifetime(m, mostlyAsleep, battery)
+	fmt.Printf("always idle:   %.0f hours\n", li.Hours())
+	fmt.Printf("mostly asleep: %.0f hours\n", ls.Hours())
+	fmt.Printf("ratio: %.0fx\n", float64(ls)/float64(li))
+	// Output:
+	// always idle:   6 hours
+	// mostly asleep: 515 hours
+	// ratio: 83x
+}
+
+// ActiveFraction is the paper's Fig. 7(a) metric.
+func ExampleCycleProfile_ActiveFraction() {
+	p := energy.CycleProfile{
+		Cycle:  4 * time.Second,
+		InTx:   40 * time.Millisecond,
+		InRx:   160 * time.Millisecond,
+		InIdle: 200 * time.Millisecond,
+	}
+	fmt.Printf("%.0f%%\n", p.ActiveFraction()*100)
+	// Output:
+	// 10%
+}

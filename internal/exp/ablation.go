@@ -1,0 +1,285 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/radio"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// This file implements the ablations DESIGN.md calls out: each isolates
+// one design choice of the paper and measures its effect.
+
+// DeltaSearchRow compares the paper's linear delta search against binary
+// search for one cluster size: identical Delta, different solve counts.
+type DeltaSearchRow struct {
+	Nodes                   int
+	Delta                   int
+	LinearSolves, BinSolves int
+}
+
+// AblationDeltaSearch runs the routing search comparison.
+func AblationDeltaSearch(nodes []int, seed int64) ([]DeltaSearchRow, error) {
+	var out []DeltaSearchRow
+	for _, n := range nodes {
+		c, err := topo.Build(topo.DefaultConfig(n, seed))
+		if err != nil {
+			return nil, err
+		}
+		demand := make([]int, n+1)
+		for v := 1; v <= n; v++ {
+			demand[v] = 2
+		}
+		lin, err := routing.BalancedPaths(c.G, topo.Head, demand, routing.LinearSearch)
+		if err != nil {
+			return nil, err
+		}
+		bin, err := routing.BalancedPaths(c.G, topo.Head, demand, routing.BinarySearch)
+		if err != nil {
+			return nil, err
+		}
+		if lin.Delta != bin.Delta {
+			return nil, fmt.Errorf("exp: delta mismatch %d vs %d", lin.Delta, bin.Delta)
+		}
+		out = append(out, DeltaSearchRow{
+			Nodes: n, Delta: lin.Delta,
+			LinearSolves: lin.Solves, BinSolves: bin.Solves,
+		})
+	}
+	return out, nil
+}
+
+// MRow reports the polling makespan (data slots per cycle) at one
+// compatibility degree M, along with the number of interference groups the
+// head had to test.
+type MRow struct {
+	M           int
+	DataSlots   float64
+	OracleTests int
+}
+
+// AblationM sweeps the compatibility degree: larger M exposes more
+// parallelism (shorter schedules) at the cost of testing more groups.
+func AblationM(n int, ms []int, seed int64, cycles int) ([]MRow, error) {
+	var out []MRow
+	for _, m := range ms {
+		c, err := topo.Build(topo.DefaultConfig(n, seed))
+		if err != nil {
+			return nil, err
+		}
+		p := cluster.DefaultParams()
+		p.M = m
+		p.RateBps = 40
+		p.LossProb = 0
+		p.Seed = seed
+		r, err := cluster.NewRunner(c, p)
+		if err != nil {
+			return nil, err
+		}
+		s, err := r.Run(cycles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MRow{M: m, DataSlots: s.MeanDataSlots, OracleTests: s.OracleTests})
+	}
+	return out, nil
+}
+
+// DelayRow compares the pipelined (no-delay) scheduler against the
+// delay-allowed variant — Theorem 2 says delay cannot shorten schedules.
+type DelayRow struct {
+	Nodes                      int
+	PipelinedSlots, DelaySlots float64
+}
+
+// AblationDelay runs the comparison.
+func AblationDelay(nodes []int, seed int64, cycles int) ([]DelayRow, error) {
+	var out []DelayRow
+	for _, n := range nodes {
+		c, err := topo.Build(topo.DefaultConfig(n, seed))
+		if err != nil {
+			return nil, err
+		}
+		base := cluster.DefaultParams()
+		base.RateBps = 40
+		base.LossProb = 0
+		base.Seed = seed
+		run := func(allowDelay bool) (float64, error) {
+			p := base
+			p.AllowDelay = allowDelay
+			r, err := cluster.NewRunner(c, p)
+			if err != nil {
+				return 0, err
+			}
+			s, err := r.Run(cycles)
+			if err != nil {
+				return 0, err
+			}
+			return s.MeanDataSlots, nil
+		}
+		pipe, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		delay, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DelayRow{Nodes: n, PipelinedSlots: pipe, DelaySlots: delay})
+	}
+	return out, nil
+}
+
+// InterClusterRow compares the two Section V-G schemes for a multi-cluster
+// field: token rotation (one cluster at a time) vs. channel coloring.
+type InterClusterRow struct {
+	Heads        int
+	Channels     int
+	TokenCycle   time.Duration
+	ColoredCycle time.Duration
+}
+
+// AblationInterCluster builds a field, assigns channels by the <=6
+// coloring, and compares the minimum feasible cycle lengths assuming each
+// cluster needs the given duty window.
+func AblationInterCluster(heads []int, sensorsPerHead int, duty time.Duration, seed int64) ([]InterClusterRow, error) {
+	var out []InterClusterRow
+	for _, h := range heads {
+		f := topo.BuildField(seed, 500, h, h*sensorsPerHead)
+		colors, used := f.ChannelAssignment(80)
+		duties := make([]time.Duration, h)
+		for i := range duties {
+			duties[i] = duty
+		}
+		colored, err := cluster.ColoredCycle(duties, colors)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, InterClusterRow{
+			Heads: h, Channels: used,
+			TokenCycle:   cluster.TokenRotationCycle(duties),
+			ColoredCycle: colored,
+		})
+	}
+	return out, nil
+}
+
+// InterferenceModelResult quantifies the paper's Fig. 3 argument at the
+// system level: schedules built trusting the pairwise protocol model can
+// collide under accumulated-interference ground truth, while SINR-built
+// schedules never do.
+type InterferenceModelResult struct {
+	Trials             int
+	PairwiseCollisions int // trials whose pairwise-built schedule collides
+	SINRCollisions     int // must be zero
+}
+
+// AblationInterferenceModel schedules random clusters under both oracles
+// and validates each schedule against the SINR ground truth.
+func AblationInterferenceModel(n, trials int, seed int64) (*InterferenceModelResult, error) {
+	res := &InterferenceModelResult{Trials: trials}
+	for trial := 0; trial < trials; trial++ {
+		s := seed + int64(trial)
+		c, err := topo.Build(topo.DefaultConfig(n, s))
+		if err != nil {
+			return nil, err
+		}
+		demand := make([]int, n+1)
+		for v := 1; v <= n; v++ {
+			demand[v] = 1
+		}
+		plan, err := routing.BalancedPaths(c.G, topo.Head, demand, routing.BinarySearch)
+		if err != nil {
+			return nil, err
+		}
+		routes := plan.CycleRoutes(0)
+		var reqs []core.Request
+		id := 0
+		for v := 1; v <= n; v++ {
+			id++
+			reqs = append(reqs, core.Request{ID: id, Route: routes[v]})
+		}
+		truth := radio.SINROracle{M: c.Med}
+		pairwise := radio.ProtocolOracle{Truth: truth}
+
+		check := func(oracle radio.CompatibilityOracle) (bool, error) {
+			sched, _, err := core.Greedy(reqs, core.Options{Oracle: oracle, MaxConcurrent: 4})
+			if err != nil {
+				return false, err
+			}
+			return core.Validate(sched, reqs, truth) != nil, nil
+		}
+		collided, err := check(pairwise)
+		if err != nil {
+			return nil, err
+		}
+		if collided {
+			res.PairwiseCollisions++
+		}
+		collided, err = check(truth)
+		if err != nil {
+			return nil, err
+		}
+		if collided {
+			res.SINRCollisions++
+		}
+	}
+	return res, nil
+}
+
+// RenderDeltaSearch formats the routing ablation.
+func RenderDeltaSearch(rows []DeltaSearchRow) string {
+	headers := []string{"nodes", "delta", "linear solves", "binary solves"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Nodes), fmt.Sprintf("%d", r.Delta),
+			fmt.Sprintf("%d", r.LinearSolves), fmt.Sprintf("%d", r.BinSolves),
+		})
+	}
+	return stats.Table(headers, out)
+}
+
+// RenderM formats the compatibility-degree ablation.
+func RenderM(rows []MRow) string {
+	headers := []string{"M", "mean data slots", "groups tested"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.M), fmt.Sprintf("%.1f", r.DataSlots),
+			fmt.Sprintf("%d", r.OracleTests),
+		})
+	}
+	return stats.Table(headers, out)
+}
+
+// RenderDelay formats the delay ablation.
+func RenderDelay(rows []DelayRow) string {
+	headers := []string{"nodes", "pipelined slots", "delay-allowed slots"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Nodes), fmt.Sprintf("%.1f", r.PipelinedSlots),
+			fmt.Sprintf("%.1f", r.DelaySlots),
+		})
+	}
+	return stats.Table(headers, out)
+}
+
+// RenderInterCluster formats the inter-cluster ablation.
+func RenderInterCluster(rows []InterClusterRow) string {
+	headers := []string{"clusters", "channels", "token cycle", "colored cycle"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Heads), fmt.Sprintf("%d", r.Channels),
+			r.TokenCycle.String(), r.ColoredCycle.String(),
+		})
+	}
+	return stats.Table(headers, out)
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationGreedyGap(t *testing.T) {
+	res, err := AblationGreedyGap(20, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRatio < 1 {
+		t.Fatalf("greedy cannot beat optimal: mean ratio %v", res.MeanRatio)
+	}
+	if res.WorstRatio < res.MeanRatio {
+		t.Fatalf("worst %v < mean %v", res.WorstRatio, res.MeanRatio)
+	}
+	if res.ExactHits < 1 {
+		t.Fatal("greedy should hit the optimum on some instances")
+	}
+	if res.ExactHits > res.Instances {
+		t.Fatalf("hits %d > instances %d", res.ExactHits, res.Instances)
+	}
+	if !strings.Contains(RenderGreedyGap(res), "mean ratio") {
+		t.Error("render malformed")
+	}
+	if _, err := AblationGreedyGap(1, 20, 1); err == nil {
+		t.Error("oversize instances should error")
+	}
+}
+
+func TestAblationOrder(t *testing.T) {
+	rows, err := AblationOrder(20, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DataSlots <= 0 {
+			t.Fatalf("bad slots for %s", r.Order)
+		}
+	}
+	if !strings.Contains(RenderOrder(rows), "shortest-first") {
+		t.Error("render malformed")
+	}
+}
+
+func TestAblationEnergyModes(t *testing.T) {
+	rows, err := AblationEnergyModes(25, 7, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]EnergyModeRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	base := byMode["baseline"]
+	for _, mode := range []string{"early-sleep", "sectors", "sectors+early"} {
+		r := byMode[mode]
+		if r.ActivePct >= base.ActivePct {
+			t.Errorf("%s active %v should beat baseline %v", mode, r.ActivePct, base.ActivePct)
+		}
+		if r.LifetimeHr <= base.LifetimeHr {
+			t.Errorf("%s lifetime %v should beat baseline %v", mode, r.LifetimeHr, base.LifetimeHr)
+		}
+	}
+	// Combining both must be at least as good as sectors alone.
+	if byMode["sectors+early"].ActivePct > byMode["sectors"].ActivePct {
+		t.Errorf("sectors+early %v should not exceed sectors %v",
+			byMode["sectors+early"].ActivePct, byMode["sectors"].ActivePct)
+	}
+	if !strings.Contains(RenderEnergyModes(rows), "lifetime") {
+		t.Error("render malformed")
+	}
+}

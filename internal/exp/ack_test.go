@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationAckCover(t *testing.T) {
+	rows, err := AblationAckCover([]int{10, 16}, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.GreedyCost < r.OptimalCost {
+			t.Fatalf("n=%d: greedy %v beat optimal %v", r.Nodes, r.GreedyCost, r.OptimalCost)
+		}
+		if r.OptimalCost <= 0 || r.OptimalPaths <= 0 {
+			t.Fatalf("n=%d: degenerate optimum %+v", r.Nodes, r)
+		}
+		// The cover never needs more paths than sensors.
+		if r.GreedyPaths > r.Nodes {
+			t.Fatalf("n=%d: %d paths for %d sensors", r.Nodes, r.GreedyPaths, r.Nodes)
+		}
+	}
+	if !strings.Contains(RenderAck(rows), "optimal cost") {
+		t.Error("render malformed")
+	}
+	if _, err := AblationAckCover([]int{50}, []int64{1}); err == nil {
+		t.Error("oversize exact instance should error")
+	}
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Capacity experiment: the paper's Fig. 7(a) discussion implies a capacity
+// frontier — the maximum per-sensor rate each cluster size sustains with
+// no packet loss. This table makes the frontier explicit.
+
+// CapacityRow is one cluster size's sustainable rate.
+type CapacityRow struct {
+	Nodes int
+	// MaxRateBps is the largest per-sensor rate with every duty cycle
+	// fitting, mean over seeds.
+	MaxRateBps float64
+	// TotalBps is Nodes * MaxRateBps, the cluster-level intake.
+	TotalBps float64
+}
+
+// Capacity sweeps cluster sizes for the sustainable-rate frontier.
+func Capacity(nodes []int, seeds []int64, p cluster.Params) ([]CapacityRow, error) {
+	var out []CapacityRow
+	for _, n := range nodes {
+		var rates []float64
+		for _, seed := range seeds {
+			c, err := topo.Build(topo.DefaultConfig(n, seed))
+			if err != nil {
+				return nil, err
+			}
+			r, err := cluster.MaxSustainableRate(c, p, 1, 8)
+			if err != nil {
+				return nil, err
+			}
+			rates = append(rates, r)
+		}
+		mean := stats.Mean(rates)
+		out = append(out, CapacityRow{Nodes: n, MaxRateBps: mean, TotalBps: mean * float64(n)})
+	}
+	return out, nil
+}
+
+// RenderCapacity formats the frontier.
+func RenderCapacity(rows []CapacityRow) string {
+	headers := []string{"nodes", "max per-sensor rate (B/s)", "cluster intake (B/s)"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%.0f", r.MaxRateBps),
+			fmt.Sprintf("%.0f", r.TotalBps),
+		})
+	}
+	return stats.Table(headers, out)
+}

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestCapacityFrontier(t *testing.T) {
+	p := cluster.DefaultParams()
+	p.LossProb = 0
+	rows, err := Capacity([]int{10, 40}, []int64{1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].MaxRateBps <= rows[1].MaxRateBps {
+		t.Fatalf("per-sensor capacity should shrink with size: %v vs %v",
+			rows[0].MaxRateBps, rows[1].MaxRateBps)
+	}
+	for _, r := range rows {
+		if r.TotalBps != r.MaxRateBps*float64(r.Nodes) {
+			t.Fatalf("total mismatch: %+v", r)
+		}
+	}
+	if !strings.Contains(RenderCapacity(rows), "cluster intake") {
+		t.Error("render malformed")
+	}
+}

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Network-decay experiment: the longitudinal extension of Fig. 7(c).
+// Clusters run on real batteries until half the sensors die; the table
+// reports when the first sensor died and how long the cluster kept half
+// its sensors, with and without sector partitioning.
+
+// DecayRow is one cluster size's decay comparison.
+type DecayRow struct {
+	Nodes int
+	// PlainFirstDeath / SectorFirstDeath: time of the first battery
+	// death (mean over seeds).
+	PlainFirstDeath, SectorFirstDeath time.Duration
+	// PlainHalfLife / SectorHalfLife: time until fewer than half the
+	// sensors remained.
+	PlainHalfLife, SectorHalfLife time.Duration
+}
+
+// DecayConfig parameterizes the decay sweep.
+type DecayConfig struct {
+	Nodes     []int
+	Seeds     []int64
+	BatteryJ  float64
+	Params    cluster.Params
+	MaxCycles int
+}
+
+// DefaultDecay returns a laptop-scale decay sweep.
+func DefaultDecay() DecayConfig {
+	p := cluster.DefaultParams()
+	p.RateBps = 40
+	p.LossProb = 0
+	p.Cycle = 2 * time.Second
+	return DecayConfig{
+		Nodes:     []int{15, 25, 35},
+		Seeds:     []int64{1, 2},
+		BatteryJ:  0.3,
+		Params:    p,
+		MaxCycles: 5000,
+	}
+}
+
+// Decay runs the sweep.
+func Decay(cfg DecayConfig) ([]DecayRow, error) {
+	var out []DecayRow
+	for _, n := range cfg.Nodes {
+		row := DecayRow{Nodes: n}
+		var pf, sf, ph, sh []float64
+		for _, seed := range cfg.Seeds {
+			run := func(useSectors bool) (first, half time.Duration, err error) {
+				c, err := topo.Build(topo.DefaultConfig(n, seed))
+				if err != nil {
+					return 0, 0, err
+				}
+				p := cfg.Params
+				p.Seed = seed
+				p.UseSectors = useSectors
+				res, err := cluster.RunLongitudinal(c, p, cfg.BatteryJ, cfg.MaxCycles, 0.5)
+				if err != nil {
+					return 0, 0, err
+				}
+				return res.FirstDeath, res.End, nil
+			}
+			a, b, err := run(false)
+			if err != nil {
+				return nil, err
+			}
+			c, d, err := run(true)
+			if err != nil {
+				return nil, err
+			}
+			pf = append(pf, a.Seconds())
+			ph = append(ph, b.Seconds())
+			sf = append(sf, c.Seconds())
+			sh = append(sh, d.Seconds())
+		}
+		toDur := func(xs []float64) time.Duration {
+			return time.Duration(stats.Mean(xs) * float64(time.Second))
+		}
+		row.PlainFirstDeath = toDur(pf)
+		row.PlainHalfLife = toDur(ph)
+		row.SectorFirstDeath = toDur(sf)
+		row.SectorHalfLife = toDur(sh)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderDecay formats the decay table.
+func RenderDecay(rows []DecayRow) string {
+	headers := []string{"nodes", "first death (plain)", "first death (sectors)", "half-life (plain)", "half-life (sectors)"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Nodes),
+			r.PlainFirstDeath.Round(time.Second).String(),
+			r.SectorFirstDeath.Round(time.Second).String(),
+			r.PlainHalfLife.Round(time.Second).String(),
+			r.SectorHalfLife.Round(time.Second).String(),
+		})
+	}
+	return stats.Table(headers, out)
+}

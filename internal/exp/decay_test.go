@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecaySweep(t *testing.T) {
+	cfg := DefaultDecay()
+	cfg.Nodes = []int{15}
+	cfg.Seeds = []int64{1}
+	cfg.BatteryJ = 0.1
+	rows, err := Decay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.PlainFirstDeath <= 0 || r.SectorFirstDeath <= 0 {
+		t.Fatalf("missing deaths: %+v", r)
+	}
+	// Sectors delay the first death and extend the half-life.
+	if r.SectorFirstDeath <= r.PlainFirstDeath {
+		t.Fatalf("sector first death %v should exceed plain %v",
+			r.SectorFirstDeath, r.PlainFirstDeath)
+	}
+	if r.SectorHalfLife < r.PlainHalfLife {
+		t.Fatalf("sector half-life %v below plain %v", r.SectorHalfLife, r.PlainHalfLife)
+	}
+	if r.PlainHalfLife < r.PlainFirstDeath {
+		t.Fatalf("half-life %v before first death %v", r.PlainHalfLife, r.PlainFirstDeath)
+	}
+	if !strings.Contains(RenderDecay(rows), "half-life") {
+		t.Error("render malformed")
+	}
+}

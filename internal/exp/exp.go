@@ -1,0 +1,365 @@
+// Package exp is the experiment harness: for every figure in the paper's
+// evaluation (Section VI) it sweeps the same parameters, runs the
+// simulators and produces the same rows/series the paper plots, plus the
+// ablations called out in DESIGN.md.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/mac/smac"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// -------------------- Fig. 7(a): percentage of active time --------------------
+
+// Fig7aConfig sweeps cluster size and data generation rate.
+type Fig7aConfig struct {
+	Nodes  []int
+	Rates  []float64 // bytes/second per sensor
+	Seeds  []int64
+	Cycles int
+	Params cluster.Params
+}
+
+// DefaultFig7a mirrors the paper: 10-100 sensors, 20/40/60/80 B/s.
+func DefaultFig7a() Fig7aConfig {
+	return Fig7aConfig{
+		Nodes:  []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		Rates:  []float64{20, 40, 60, 80},
+		Seeds:  []int64{1, 2, 3},
+		Cycles: 3,
+		Params: cluster.DefaultParams(),
+	}
+}
+
+// QuickFig7a is a cut-down sweep for tests and benchmarks.
+func QuickFig7a() Fig7aConfig {
+	c := DefaultFig7a()
+	c.Nodes = []int{10, 30, 50}
+	c.Rates = []float64{20, 60}
+	c.Seeds = []int64{1}
+	c.Cycles = 2
+	return c
+}
+
+// Fig7aPoint is one (cluster size, rate) cell: the mean percentage of
+// active time over seeds.
+type Fig7aPoint struct {
+	Nodes     int
+	RateBps   float64
+	ActivePct float64
+	Fits      bool // whether the duty fit the cycle at every seed
+}
+
+// Fig7a runs the active-time sweep.
+func Fig7a(cfg Fig7aConfig) ([]Fig7aPoint, error) {
+	var out []Fig7aPoint
+	for _, n := range cfg.Nodes {
+		for _, rate := range cfg.Rates {
+			var actives []float64
+			fits := true
+			for _, seed := range cfg.Seeds {
+				c, err := topo.Build(topo.DefaultConfig(n, seed))
+				if err != nil {
+					return nil, err
+				}
+				p := cfg.Params
+				p.RateBps = rate
+				p.Seed = seed
+				r, err := cluster.NewRunner(c, p)
+				if err != nil {
+					return nil, err
+				}
+				s, err := r.Run(cfg.Cycles)
+				if err != nil {
+					return nil, err
+				}
+				actives = append(actives, s.MeanActive*100)
+				fits = fits && s.AllFit
+			}
+			out = append(out, Fig7aPoint{
+				Nodes: n, RateBps: rate,
+				ActivePct: stats.Mean(actives), Fits: fits,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFig7a formats the sweep as the paper's figure: one row per
+// cluster size, one column per rate. Cells that exceeded the cycle (the
+// paper's "all sensors active all the time" saturation) are marked '*'.
+func RenderFig7a(points []Fig7aPoint) string {
+	rates := orderedRates(points)
+	headers := []string{"nodes"}
+	for _, r := range rates {
+		headers = append(headers, fmt.Sprintf("%g Bps", r))
+	}
+	byNode := map[int]map[float64]Fig7aPoint{}
+	var nodes []int
+	for _, p := range points {
+		if byNode[p.Nodes] == nil {
+			byNode[p.Nodes] = map[float64]Fig7aPoint{}
+			nodes = append(nodes, p.Nodes)
+		}
+		byNode[p.Nodes][p.RateBps] = p
+	}
+	var rows [][]string
+	for _, n := range nodes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, r := range rates {
+			p := byNode[n][r]
+			mark := ""
+			if !p.Fits {
+				mark = "*"
+			}
+			row = append(row, fmt.Sprintf("%.1f%%%s", p.ActivePct, mark))
+		}
+		rows = append(rows, row)
+	}
+	return stats.Table(headers, rows)
+}
+
+func orderedRates(points []Fig7aPoint) []float64 {
+	seen := map[float64]bool{}
+	var rates []float64
+	for _, p := range points {
+		if !seen[p.RateBps] {
+			seen[p.RateBps] = true
+			rates = append(rates, p.RateBps)
+		}
+	}
+	return rates
+}
+
+// -------------------- Fig. 7(b): throughput vs. S-MAC --------------------
+
+// Fig7bConfig sweeps total offered load for the polling scheme and for
+// S-MAC+AODV at several duty cycles.
+type Fig7bConfig struct {
+	Nodes   int
+	Loads   []float64 // total offered bytes/second across the cluster
+	Duties  []float64 // S-MAC duty cycles; 1.0 = no sleep
+	Seeds   []int64
+	SimTime time.Duration
+	Warmup  time.Duration
+	Cycles  int // polling cycles per seed
+	Params  cluster.Params
+}
+
+// DefaultFig7b mirrors the paper: 30 sensors, offered 100-1200 B/s,
+// S-MAC at no-sleep/90/70/50/30 % duty. (The paper simulates 1000 s with
+// 100 s warm-up; the default here is shorter — scale SimTime up for
+// publication-grade smoothness.)
+func DefaultFig7b() Fig7bConfig {
+	return Fig7bConfig{
+		Nodes:   30,
+		Loads:   []float64{100, 210, 400, 600, 750, 900, 1050, 1200},
+		Duties:  []float64{1.0, 0.9, 0.7, 0.5, 0.3},
+		Seeds:   []int64{1, 2},
+		SimTime: 120 * time.Second,
+		Warmup:  20 * time.Second,
+		Cycles:  5,
+		Params:  cluster.DefaultParams(),
+	}
+}
+
+// QuickFig7b is a cut-down sweep for tests and benchmarks.
+func QuickFig7b() Fig7bConfig {
+	c := DefaultFig7b()
+	c.Nodes = 15
+	c.Loads = []float64{210, 750}
+	c.Duties = []float64{1.0, 0.5}
+	c.Seeds = []int64{1}
+	c.SimTime = 40 * time.Second
+	c.Warmup = 10 * time.Second
+	c.Cycles = 3
+	return c
+}
+
+// Fig7bPoint is one curve sample: series name ("polling", "smac-0.50",
+// ...) and measured throughput at the sink in bytes/second.
+type Fig7bPoint struct {
+	Series        string
+	OfferedBps    float64
+	ThroughputBps float64
+}
+
+// Fig7b runs the throughput comparison.
+func Fig7b(cfg Fig7bConfig) ([]Fig7bPoint, error) {
+	var out []Fig7bPoint
+	for _, load := range cfg.Loads {
+		rate := load / float64(cfg.Nodes)
+		// Polling: deliver fraction x offered.
+		var tp []float64
+		for _, seed := range cfg.Seeds {
+			c, err := topo.Build(topo.DefaultConfig(cfg.Nodes, seed))
+			if err != nil {
+				return nil, err
+			}
+			p := cfg.Params
+			p.RateBps = rate
+			p.Seed = seed
+			r, err := cluster.NewRunner(c, p)
+			if err != nil {
+				return nil, err
+			}
+			s, err := r.Run(cfg.Cycles)
+			if err != nil {
+				return nil, err
+			}
+			tp = append(tp, s.DeliveredFraction()*load)
+		}
+		out = append(out, Fig7bPoint{Series: "polling", OfferedBps: load, ThroughputBps: stats.Mean(tp)})
+
+		for _, duty := range cfg.Duties {
+			var tps []float64
+			for _, seed := range cfg.Seeds {
+				c, err := topo.Build(topo.DefaultConfig(cfg.Nodes, seed))
+				if err != nil {
+					return nil, err
+				}
+				nw, err := smac.NewNetwork(c.Med, topo.Head, smac.DefaultConfig(duty, seed))
+				if err != nil {
+					return nil, err
+				}
+				nw.StartCBR(rate)
+				m := nw.Run(cfg.SimTime, cfg.Warmup)
+				tps = append(tps, m.ThroughputBps(cfg.SimTime-cfg.Warmup, cfg.Params.DataBytes))
+			}
+			out = append(out, Fig7bPoint{
+				Series:        fmt.Sprintf("smac-%.2f", duty),
+				OfferedBps:    load,
+				ThroughputBps: stats.Mean(tps),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFig7b formats the comparison: one row per offered load, one
+// column per series.
+func RenderFig7b(points []Fig7bPoint) string {
+	var series []string
+	seen := map[string]bool{}
+	for _, p := range points {
+		if !seen[p.Series] {
+			seen[p.Series] = true
+			series = append(series, p.Series)
+		}
+	}
+	byLoad := map[float64]map[string]float64{}
+	var loads []float64
+	for _, p := range points {
+		if byLoad[p.OfferedBps] == nil {
+			byLoad[p.OfferedBps] = map[string]float64{}
+			loads = append(loads, p.OfferedBps)
+		}
+		byLoad[p.OfferedBps][p.Series] = p.ThroughputBps
+	}
+	headers := append([]string{"offered Bps"}, series...)
+	var rows [][]string
+	for _, l := range loads {
+		row := []string{fmt.Sprintf("%g", l)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.0f", byLoad[l][s]))
+		}
+		rows = append(rows, row)
+	}
+	return stats.Table(headers, rows)
+}
+
+// -------------------- Fig. 7(c): sector lifetime ratio --------------------
+
+// Fig7cConfig sweeps cluster size for the sector/no-sector lifetime ratio.
+type Fig7cConfig struct {
+	Nodes    []int
+	Seeds    []int64
+	Cycles   int
+	BatteryJ float64
+	Params   cluster.Params
+}
+
+// DefaultFig7c mirrors the paper: 10-50 sensors.
+func DefaultFig7c() Fig7cConfig {
+	p := cluster.DefaultParams()
+	p.RateBps = 40
+	return Fig7cConfig{
+		Nodes:    []int{10, 15, 20, 25, 30, 35, 40, 45, 50},
+		Seeds:    []int64{1, 2, 3},
+		Cycles:   3,
+		BatteryJ: 100,
+		Params:   p,
+	}
+}
+
+// QuickFig7c is a cut-down sweep for tests and benchmarks.
+func QuickFig7c() Fig7cConfig {
+	c := DefaultFig7c()
+	c.Nodes = []int{15, 30}
+	c.Seeds = []int64{1}
+	c.Cycles = 2
+	return c
+}
+
+// Fig7cPoint is one cluster size's mean lifetime ratio (with sectors /
+// without sectors).
+type Fig7cPoint struct {
+	Nodes int
+	Ratio float64
+}
+
+// Fig7c runs the sector lifetime comparison.
+func Fig7c(cfg Fig7cConfig) ([]Fig7cPoint, error) {
+	em := energy.DefaultModel()
+	var out []Fig7cPoint
+	for _, n := range cfg.Nodes {
+		var ratios []float64
+		for _, seed := range cfg.Seeds {
+			c, err := topo.Build(topo.DefaultConfig(n, seed))
+			if err != nil {
+				return nil, err
+			}
+			base := cfg.Params
+			base.Seed = seed
+			plain, err := cluster.NewRunner(c, base)
+			if err != nil {
+				return nil, err
+			}
+			withSec := base
+			withSec.UseSectors = true
+			sectored, err := cluster.NewRunner(c, withSec)
+			if err != nil {
+				return nil, err
+			}
+			sp, err := plain.Run(cfg.Cycles)
+			if err != nil {
+				return nil, err
+			}
+			ss, err := sectored.Run(cfg.Cycles)
+			if err != nil {
+				return nil, err
+			}
+			lp := sp.Lifetime(em, cfg.BatteryJ)
+			ls := ss.Lifetime(em, cfg.BatteryJ)
+			ratios = append(ratios, float64(ls)/float64(lp))
+		}
+		out = append(out, Fig7cPoint{Nodes: n, Ratio: stats.Mean(ratios)})
+	}
+	return out, nil
+}
+
+// RenderFig7c formats the lifetime ratios.
+func RenderFig7c(points []Fig7cPoint) string {
+	headers := []string{"nodes", "lifetime ratio (sectors / none)"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{fmt.Sprintf("%d", p.Nodes), fmt.Sprintf("%.2f", p.Ratio)})
+	}
+	return stats.Table(headers, rows)
+}

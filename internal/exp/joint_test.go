@@ -1,0 +1,25 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationJointGap(t *testing.T) {
+	res, err := AblationJointGap(15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanGap < 1 {
+		t.Fatalf("mean gap %v below 1: decomposition cannot beat the joint optimum", res.MeanGap)
+	}
+	if res.WorstGap < res.MeanGap {
+		t.Fatalf("worst %v < mean %v", res.WorstGap, res.MeanGap)
+	}
+	if res.ExactHits < 1 {
+		t.Error("decomposition should match the optimum on some instances")
+	}
+	if !strings.Contains(RenderJointGap(res), "worst gap") {
+		t.Error("render malformed")
+	}
+}

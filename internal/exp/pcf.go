@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/mac/pcf"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Single-hop polling comparison: the paper positions its scheme against
+// 802.11 PCF / Bluetooth-style polling, which require every station to
+// reach the coordinator directly. This sweep quantifies what that costs
+// in a two-layered cluster: partial coverage at base power, or large
+// transmit-power boosts for full coverage.
+
+// PCFRow is one cluster size's single-hop polling analysis.
+type PCFRow struct {
+	Nodes int
+	// CoveragePct is the fraction of sensors single-hop polling reaches
+	// at base transmit power.
+	CoveragePct float64
+	// MaxBoost and MeanBoost are the power multipliers full coverage
+	// would need.
+	MaxBoost, MeanBoost float64
+	// MeanHops is multi-hop polling's mean route length on the same
+	// deployments — the energy PCF's boost competes against.
+	MeanHops float64
+}
+
+// PCFComparison sweeps cluster sizes.
+func PCFComparison(nodes []int, seeds []int64) ([]PCFRow, error) {
+	var out []PCFRow
+	for _, n := range nodes {
+		var cov, maxB, meanB, hops []float64
+		for _, seed := range seeds {
+			c, err := topo.Build(topo.DefaultConfig(n, seed))
+			if err != nil {
+				return nil, err
+			}
+			res, err := pcf.Analyze(c)
+			if err != nil {
+				return nil, err
+			}
+			cov = append(cov, res.Coverage*100)
+			maxB = append(maxB, res.MaxBoost)
+			meanB = append(meanB, res.MeanBoost)
+			sum := 0
+			for v := 1; v <= n; v++ {
+				sum += c.Level[v]
+			}
+			hops = append(hops, float64(sum)/float64(n))
+		}
+		out = append(out, PCFRow{
+			Nodes:       n,
+			CoveragePct: stats.Mean(cov),
+			MaxBoost:    stats.Mean(maxB),
+			MeanBoost:   stats.Mean(meanB),
+			MeanHops:    stats.Mean(hops),
+		})
+	}
+	return out, nil
+}
+
+// RenderPCF formats the comparison.
+func RenderPCF(rows []PCFRow) string {
+	headers := []string{"nodes", "single-hop coverage", "max boost", "mean boost", "multi-hop mean hops", "energy ratio (PCF/MHP)"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%.0f%%", r.CoveragePct),
+			fmt.Sprintf("%.1fx", r.MaxBoost),
+			fmt.Sprintf("%.1fx", r.MeanBoost),
+			fmt.Sprintf("%.2f", r.MeanHops),
+			fmt.Sprintf("%.1fx", pcf.EnergyRatio(r.MeanBoost, r.MeanHops)),
+		})
+	}
+	return stats.Table(headers, out)
+}

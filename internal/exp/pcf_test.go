@@ -1,0 +1,27 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPCFComparison(t *testing.T) {
+	rows, err := PCFComparison([]int{15, 40}, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CoveragePct >= 100 {
+			t.Errorf("n=%d: single-hop coverage %v%% should be partial", r.Nodes, r.CoveragePct)
+		}
+		if r.MaxBoost <= 1 || r.MeanBoost <= 1 {
+			t.Errorf("n=%d: boosts %v/%v should exceed 1", r.Nodes, r.MaxBoost, r.MeanBoost)
+		}
+		if r.MeanHops <= 1 {
+			t.Errorf("n=%d: mean hops %v should exceed 1 in a multi-hop cluster", r.Nodes, r.MeanHops)
+		}
+	}
+	if !strings.Contains(RenderPCF(rows), "energy ratio") {
+		t.Error("render malformed")
+	}
+}

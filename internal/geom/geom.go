@@ -1,0 +1,156 @@
+// Package geom provides the 2-D geometry primitives used throughout the
+// simulator: points, distances, deployment regions, uniform random sensor
+// placement and Voronoi-cell assignment for cluster forming.
+//
+// All coordinates are in meters, matching the paper's physical-layer setup
+// (sensors uniformly deployed within a two-dimensional square with the
+// cluster head placed at the center).
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a location in the deployment plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q in meters.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root when only comparisons are needed (e.g. Voronoi cells).
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns the vector sum p+q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p-q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle [MinX,MaxX] x [MinY,MaxY].
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Square returns a side x side square anchored at the origin.
+func Square(side float64) Rect {
+	return Rect{0, 0, side, side}
+}
+
+// Center returns the geometric center of the rectangle. The paper places
+// the cluster head at the center of the deployment square.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Width returns the horizontal extent of the rectangle.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of the rectangle.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the rectangle's area in square meters.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies inside the rectangle (borders inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Diagonal returns the length of the rectangle's diagonal, an upper bound
+// on the distance between any two deployed nodes.
+func (r Rect) Diagonal() float64 {
+	return math.Hypot(r.Width(), r.Height())
+}
+
+// UniformDeploy places n points independently and uniformly at random in r,
+// using rng as the randomness source. It reproduces the paper's "all sensor
+// nodes are uniformly deployed within a two-dimensional square" setup.
+func UniformDeploy(rng *rand.Rand, r Rect, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X: r.MinX + rng.Float64()*r.Width(),
+			Y: r.MinY + rng.Float64()*r.Height(),
+		}
+	}
+	return pts
+}
+
+// GridDeploy places up to n points on a regular grid covering r, useful for
+// deterministic tests. Points are emitted row-major. If n exceeds the grid
+// capacity of ceil(sqrt(n))^2 the full grid is returned.
+func GridDeploy(r Rect, n int) []Point {
+	if n <= 0 {
+		return nil
+	}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	pts := make([]Point, 0, n)
+	for i := 0; i < side && len(pts) < n; i++ {
+		for j := 0; j < side && len(pts) < n; j++ {
+			pts = append(pts, Point{
+				X: r.MinX + (float64(j)+0.5)*r.Width()/float64(side),
+				Y: r.MinY + (float64(i)+0.5)*r.Height()/float64(side),
+			})
+		}
+	}
+	return pts
+}
+
+// VoronoiAssign assigns each point to the index of its nearest site,
+// breaking ties toward the lower site index. This implements the paper's
+// suggested cluster-forming rule: "let cluster heads compute the Voronoi
+// diagrams and let sensors in the same Voronoi cell belong to the same
+// cluster" (Section V-A).
+//
+// It returns a slice parallel to pts with the chosen site index for each
+// point. VoronoiAssign panics if sites is empty.
+func VoronoiAssign(pts, sites []Point) []int {
+	if len(sites) == 0 {
+		panic("geom: VoronoiAssign requires at least one site")
+	}
+	assign := make([]int, len(pts))
+	for i, p := range pts {
+		best, bestD := 0, p.Dist2(sites[0])
+		for s := 1; s < len(sites); s++ {
+			if d := p.Dist2(sites[s]); d < bestD {
+				best, bestD = s, d
+			}
+		}
+		assign[i] = best
+	}
+	return assign
+}
+
+// AnnulusDeploy places n points uniformly in the annulus centered at c with
+// radii [rMin, rMax]. Useful for constructing clusters with controlled hop
+// levels in tests.
+func AnnulusDeploy(rng *rand.Rand, c Point, rMin, rMax float64, n int) []Point {
+	if rMin < 0 || rMax < rMin {
+		panic("geom: invalid annulus radii")
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		// Inverse-CDF sampling for uniform area density.
+		u := rng.Float64()
+		rad := math.Sqrt(u*(rMax*rMax-rMin*rMin) + rMin*rMin)
+		theta := rng.Float64() * 2 * math.Pi
+		pts[i] = Point{c.X + rad*math.Cos(theta), c.Y + rad*math.Sin(theta)}
+	}
+	return pts
+}

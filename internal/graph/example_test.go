@@ -1,0 +1,77 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// The node-capacity flow network behind load-balanced relaying paths
+// (Section III-A): raise delta until the max flow satisfies all demand.
+func ExampleFlowNetwork_MaxFlow() {
+	// s(0) -> a(1) -> t(2) with capacity 3 on the middle arc.
+	f := graph.NewFlowNetwork(3)
+	f.AddEdge(0, 1, 5)
+	f.AddEdge(1, 2, 3)
+	fmt.Println("max flow:", f.MaxFlow(0, 2))
+	// Output:
+	// max flow: 3
+}
+
+// Acknowledgment collection (Section V-F) picks a minimum-cost set of
+// relaying paths covering every sensor.
+func ExampleGreedySetCover() {
+	subsets := []graph.Subset{
+		{Elements: []int{0, 1}, Cost: 2},    // path covering sensors 0,1
+		{Elements: []int{2}, Cost: 1},       // path covering sensor 2
+		{Elements: []int{0, 1, 2}, Cost: 2}, // long path covering all
+	}
+	chosen, cost, err := graph.GreedySetCover(3, subsets)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("chosen:", chosen, "cost:", cost)
+	// Output:
+	// chosen: [2] cost: 2
+}
+
+// Inter-cluster channel assignment (Section V-G): color the cluster graph
+// with the smallest-degree-last rule, at most 6 colors on planar-like
+// adjacency.
+func ExampleSixColoring() {
+	// A 4-cycle of clusters.
+	g := graph.NewUndirected(4)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, (i+1)%4)
+	}
+	colors, used := graph.SixColoring(g)
+	fmt.Println("channels:", used)
+	fmt.Println("proper:", graph.IsProperColoring(g, colors))
+	// Output:
+	// channels: 2
+	// proper: true
+}
+
+// The Partition problem underlying the CPAR reduction (Theorem 5).
+func ExamplePartition() {
+	subset, ok := graph.Partition([]int{3, 2, 1, 2})
+	fmt.Println("partitionable:", ok)
+	in, out := graph.SubsetSums([]int{3, 2, 1, 2}, subset)
+	fmt.Println("sums:", in, out)
+	// Output:
+	// partitionable: true
+	// sums: 4 4
+}
+
+// Hamiltonian paths power the Lemma 1 reduction.
+func ExampleHamiltonianPath() {
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	path := graph.HamiltonianPath(g)
+	fmt.Println("found:", path != nil)
+	fmt.Println("valid:", graph.IsHamiltonianPath(g, path))
+	// Output:
+	// found: true
+	// valid: true
+}

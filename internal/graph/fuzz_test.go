@@ -1,0 +1,30 @@
+package graph
+
+import "testing"
+
+// FuzzPartition cross-checks the DP against brute force on arbitrary
+// small multisets.
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 2})
+	f.Add([]byte{1, 7})
+	f.Add([]byte{10})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 12 {
+			return
+		}
+		a := make([]int, len(raw))
+		for i, b := range raw {
+			a[i] = int(b%50) + 1
+		}
+		subset, ok := Partition(a)
+		if want := brutePartition(a); ok != want {
+			t.Fatalf("DP=%v brute=%v for %v", ok, want, a)
+		}
+		if ok {
+			in, out := SubsetSums(a, subset)
+			if in != out {
+				t.Fatalf("unbalanced %d/%d for %v", in, out, a)
+			}
+		}
+	})
+}

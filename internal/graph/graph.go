@@ -1,0 +1,204 @@
+// Package graph implements the combinatorial machinery the polling system
+// is built on: max-flow with node capacities (load-balanced relaying paths,
+// Section III-A of the paper), Hamiltonian-path solvers (the NP-hardness
+// reduction of Lemma 1), greedy Weighted Set Cover (acknowledgment
+// collection, Section V-F), graph coloring (inter-cluster interference
+// removal, Section V-G), and the Partition-problem solver behind the CPAR
+// reduction (Theorem 5).
+//
+// Everything here is deterministic and allocation-conscious; graphs are
+// indexed by small dense integer vertex ids.
+package graph
+
+import "fmt"
+
+// Undirected is a simple undirected graph on vertices 0..N-1 stored as
+// adjacency lists. Parallel edges and self-loops are rejected.
+type Undirected struct {
+	n   int
+	adj [][]int
+}
+
+// NewUndirected returns an empty undirected graph with n vertices.
+func NewUndirected(n int) *Undirected {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Undirected{n: n, adj: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (g *Undirected) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u,v}. It panics on out-of-range
+// vertices or self-loops and is a no-op for duplicate edges.
+func (g *Undirected) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	if g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// HasEdge reports whether the edge {u,v} exists.
+func (g *Undirected) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of u. The returned slice must not
+// be modified.
+func (g *Undirected) Neighbors(u int) []int {
+	g.check(u)
+	return g.adj[u]
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Undirected) Degree(u int) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// Edges returns every edge exactly once as [2]int{u,v} with u < v.
+func (g *Undirected) Edges() [][2]int {
+	var es [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				es = append(es, [2]int{u, v})
+			}
+		}
+	}
+	return es
+}
+
+// Clone returns a deep copy of g.
+func (g *Undirected) Clone() *Undirected {
+	c := NewUndirected(g.n)
+	for u := 0; u < g.n; u++ {
+		c.adj[u] = append([]int(nil), g.adj[u]...)
+	}
+	return c
+}
+
+func (g *Undirected) check(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// BFSLevels runs a breadth-first search from src and returns the hop count
+// of every vertex from src; unreachable vertices get level -1. This is how
+// the cluster head computes sensor levels ("a sensor is in level i if its
+// hop count is i").
+func (g *Undirected) BFSLevels(src int) []int {
+	g.check(src)
+	level := make([]int, g.n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if level[v] < 0 {
+				level[v] = level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return level
+}
+
+// BFSTree runs a breadth-first search from src and returns for each vertex
+// its parent on a shortest path toward src (parent[src] = src, unreachable
+// vertices get -1). Ties are broken toward the smaller parent id, which is
+// the "first sensor that discovered it" rule of Section V-A.
+func (g *Undirected) BFSTree(src int) []int {
+	g.check(src)
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if parent[v] < 0 {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return parent
+}
+
+// Connected reports whether every vertex is reachable from vertex 0
+// (vacuously true for the empty graph).
+func (g *Undirected) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	for _, l := range g.BFSLevels(0) {
+		if l < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as vertex-id slices, each
+// sorted ascending, ordered by their smallest vertex.
+func (g *Undirected) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	for _, c := range comps {
+		sortInts(c)
+	}
+	return comps
+}
+
+// sortInts is a tiny insertion sort: component slices are small and this
+// avoids pulling in package sort for a single call site.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the edge capacity used for "unlimited" arcs (e.g. wireless links
+// in the relaying-path flow network, which the paper gives infinite
+// capacity; only sensor nodes are capacity-limited).
+const Inf = math.MaxInt64 / 4
+
+// FlowNetwork is a directed flow network with integer capacities supporting
+// Edmonds-Karp max-flow. Vertices are 0..N-1.
+//
+// Node capacities (the paper's per-sensor load bound delta) are expressed by
+// the standard node-splitting construction; see SplitNode and the routing
+// package for how the relaying-path network is assembled.
+type FlowNetwork struct {
+	n     int
+	head  []int // head[e]: target vertex of edge e
+	cap   []int64
+	flow  []int64
+	first [][]int // first[v]: indices of edges leaving v (incl. residual)
+}
+
+// NewFlowNetwork returns an empty network with n vertices.
+func NewFlowNetwork(n int) *FlowNetwork {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &FlowNetwork{n: n, first: make([][]int, n)}
+}
+
+// N returns the number of vertices.
+func (f *FlowNetwork) N() int { return f.n }
+
+// AddEdge inserts a directed edge u->v with the given capacity and returns
+// its edge id. The reverse residual edge is created automatically with
+// capacity 0. Capacities must be non-negative.
+func (f *FlowNetwork) AddEdge(u, v int, capacity int64) int {
+	f.check(u)
+	f.check(v)
+	if capacity < 0 {
+		panic(fmt.Sprintf("graph: negative capacity %d", capacity))
+	}
+	id := len(f.head)
+	f.head = append(f.head, v, u)
+	f.cap = append(f.cap, capacity, 0)
+	f.flow = append(f.flow, 0, 0)
+	f.first[u] = append(f.first[u], id)
+	f.first[v] = append(f.first[v], id+1)
+	return id
+}
+
+// SetCapacity updates the capacity of edge id (as returned by AddEdge).
+// Flow must be reset before re-solving; see Reset.
+func (f *FlowNetwork) SetCapacity(id int, capacity int64) {
+	if id < 0 || id >= len(f.cap) || id%2 != 0 {
+		panic(fmt.Sprintf("graph: bad edge id %d", id))
+	}
+	if capacity < 0 {
+		panic("graph: negative capacity")
+	}
+	f.cap[id] = capacity
+}
+
+// Reset zeroes all flow so the network can be solved again after capacity
+// changes (the delta-search in the routing package re-solves repeatedly).
+func (f *FlowNetwork) Reset() {
+	for i := range f.flow {
+		f.flow[i] = 0
+	}
+}
+
+// EdgeFlow returns the current flow on edge id.
+func (f *FlowNetwork) EdgeFlow(id int) int64 {
+	if id < 0 || id >= len(f.flow) || id%2 != 0 {
+		panic(fmt.Sprintf("graph: bad edge id %d", id))
+	}
+	return f.flow[id]
+}
+
+// EdgeEnds returns (u, v) for edge id.
+func (f *FlowNetwork) EdgeEnds(id int) (int, int) {
+	if id < 0 || id >= len(f.head) || id%2 != 0 {
+		panic(fmt.Sprintf("graph: bad edge id %d", id))
+	}
+	return f.head[id+1], f.head[id]
+}
+
+func (f *FlowNetwork) check(u int) {
+	if u < 0 || u >= f.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", u, f.n))
+	}
+}
+
+// MaxFlow computes the maximum s-t flow with the Edmonds-Karp algorithm
+// (BFS augmenting paths) and returns its value. Flow state is retained so
+// callers can decompose it into relaying paths afterwards.
+//
+// The paper invokes Ford-Fulkerson; Edmonds-Karp is the standard
+// polynomial-time refinement and matches the O(n^3)-style bound quoted
+// there for the cluster-sized networks involved.
+func (f *FlowNetwork) MaxFlow(s, t int) int64 {
+	f.check(s)
+	f.check(t)
+	if s == t {
+		panic("graph: max-flow source equals sink")
+	}
+	var total int64
+	prevEdge := make([]int, f.n)
+	for {
+		// BFS on the residual graph.
+		for i := range prevEdge {
+			prevEdge[i] = -1
+		}
+		prevEdge[s] = -2
+		queue := []int{s}
+		for len(queue) > 0 && prevEdge[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range f.first[u] {
+				v := f.head[e]
+				if prevEdge[v] == -1 && f.cap[e]-f.flow[e] > 0 {
+					prevEdge[v] = e
+					queue = append(queue, v)
+				}
+			}
+		}
+		if prevEdge[t] == -1 {
+			return total
+		}
+		// Find the bottleneck on the path.
+		bottleneck := int64(Inf)
+		for v := t; v != s; {
+			e := prevEdge[v]
+			if r := f.cap[e] - f.flow[e]; r < bottleneck {
+				bottleneck = r
+			}
+			v = f.head[e^1]
+		}
+		// Augment.
+		for v := t; v != s; {
+			e := prevEdge[v]
+			f.flow[e] += bottleneck
+			f.flow[e^1] -= bottleneck
+			v = f.head[e^1]
+		}
+		total += bottleneck
+	}
+}
+
+// MinCutReachable returns the set of vertices reachable from s in the
+// residual graph after MaxFlow has been run; the edges crossing out of the
+// set form a minimum cut. Used by tests to validate max-flow = min-cut.
+func (f *FlowNetwork) MinCutReachable(s int) []bool {
+	f.check(s)
+	seen := make([]bool, f.n)
+	seen[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range f.first[u] {
+			v := f.head[e]
+			if !seen[v] && f.cap[e]-f.flow[e] > 0 {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen
+}
+
+// OutEdges returns the ids of the forward (even) edges leaving u, in
+// insertion order.
+func (f *FlowNetwork) OutEdges(u int) []int {
+	f.check(u)
+	var out []int
+	for _, e := range f.first[u] {
+		if e%2 == 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CheckConservation verifies that at every vertex other than s and t the
+// net flow is zero, and that no edge exceeds its capacity. It returns an
+// error describing the first violation, or nil. Exposed for the property
+// tests on the routing layer.
+func (f *FlowNetwork) CheckConservation(s, t int) error {
+	net := make([]int64, f.n)
+	for e := 0; e < len(f.head); e += 2 {
+		fl := f.flow[e]
+		if fl < 0 {
+			return fmt.Errorf("edge %d has negative flow %d", e, fl)
+		}
+		if fl > f.cap[e] {
+			return fmt.Errorf("edge %d flow %d exceeds capacity %d", e, fl, f.cap[e])
+		}
+		u, v := f.EdgeEnds(e)
+		net[u] -= fl
+		net[v] += fl
+	}
+	for v := range net {
+		if v == s || v == t {
+			continue
+		}
+		if net[v] != 0 {
+			return fmt.Errorf("vertex %d violates conservation: net %d", v, net[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package smac
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+func TestMeanActiveTracksDuty(t *testing.T) {
+	run := func(duty float64) Metrics {
+		c, err := topo.Build(topo.DefaultConfig(10, 41))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := NewNetwork(c.Med, 0, DefaultConfig(duty, 43))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.StartCBR(20)
+		return nw.Run(30*time.Second, 5*time.Second)
+	}
+	low := run(0.3)
+	full := run(1.0)
+	// At duty 1.0 there is no sleep to overflow into: active == 1.
+	if full.MeanActive != 1.0 {
+		t.Fatalf("duty 1.0 active = %v", full.MeanActive)
+	}
+	// At duty 0.3 the floor is the duty plus a little exchange overtime.
+	if low.MeanActive < 0.3 {
+		t.Fatalf("active %v below the duty cycle", low.MeanActive)
+	}
+	if low.MeanActive > 0.45 {
+		t.Fatalf("active %v implausibly far above the 0.3 duty", low.MeanActive)
+	}
+	if low.MeanActive >= full.MeanActive {
+		t.Fatal("lower duty must mean less active time")
+	}
+}
+
+func TestSleepOverlap(t *testing.T) {
+	c, err := topo.Build(topo.DefaultConfig(3, 47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(c.Med, 0, DefaultConfig(0.5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := nw.nodes[1]
+	nd.phase = 0
+	frame := nw.cfg.Frame        // 500 ms
+	listen := nw.cfg.listenLen() // 250 ms
+	// Entirely inside listen: zero overlap.
+	if got := nd.sleepOverlap(0, listen/2); got != 0 {
+		t.Fatalf("listen-only overlap = %v", got)
+	}
+	// Entirely inside sleep.
+	if got := nd.sleepOverlap(listen, frame); got != frame-listen {
+		t.Fatalf("sleep-only overlap = %v", got)
+	}
+	// Straddling one boundary.
+	if got := nd.sleepOverlap(listen-10*time.Millisecond, listen+30*time.Millisecond); got != 30*time.Millisecond {
+		t.Fatalf("straddle overlap = %v", got)
+	}
+	// Spanning a full frame: exactly one sleep period.
+	if got := nd.sleepOverlap(0, frame); got != frame-listen {
+		t.Fatalf("full-frame overlap = %v", got)
+	}
+	// Degenerate interval.
+	if got := nd.sleepOverlap(frame, frame); got != 0 {
+		t.Fatalf("empty interval overlap = %v", got)
+	}
+	// Always-on nodes never sleep.
+	nd.alwaysOn = true
+	if got := nd.sleepOverlap(0, frame); got != 0 {
+		t.Fatalf("always-on overlap = %v", got)
+	}
+}

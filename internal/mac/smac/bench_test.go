@@ -1,0 +1,24 @@
+package smac
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+func BenchmarkSMACSecondOfSimulation(b *testing.B) {
+	c, err := topo.Build(topo.DefaultConfig(30, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw, err := NewNetwork(c.Med, topo.Head, DefaultConfig(0.5, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw.StartCBR(25)
+		nw.Run(time.Second, 0)
+	}
+}

@@ -1,0 +1,65 @@
+package radio
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func benchMedium(n int, seed int64) *Medium {
+	rng := rand.New(rand.NewSource(seed))
+	pos := geom.UniformDeploy(rng, geom.Square(100), n)
+	m := NewMedium(NewTwoRay(), pos)
+	p := TxPowerForRange(NewTwoRay(), 30, DefaultRxThreshold)
+	for i := 0; i < n; i++ {
+		m.SetTxPower(i, p)
+	}
+	return m
+}
+
+func BenchmarkGroupCompatible3(b *testing.B) {
+	m := benchMedium(60, 1)
+	txs := []Transmission{{From: 0, To: 1}, {From: 10, To: 11}, {From: 20, To: 21}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.GroupCompatible(txs)
+	}
+}
+
+func BenchmarkTestedOracleCached(b *testing.B) {
+	m := benchMedium(60, 3)
+	o := NewTestedOracle(SINROracle{M: m}, 3)
+	txs := []Transmission{{From: 0, To: 1}, {From: 10, To: 11}}
+	o.Compatible(txs) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Compatible(txs)
+	}
+}
+
+func BenchmarkConnectivityGraph(b *testing.B) {
+	m := benchMedium(80, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		for u := 0; u < m.N(); u++ {
+			for v := u + 1; v < m.N(); v++ {
+				if m.InRange(u, v) && m.InRange(v, u) {
+					count++
+				}
+			}
+		}
+		if count == 0 {
+			b.Fatal("no links")
+		}
+	}
+}
+
+func BenchmarkQuality(b *testing.B) {
+	m := benchMedium(40, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Quality(i%39, (i+1)%40)
+	}
+}

@@ -1,0 +1,130 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestLossFromMarginEndpoints(t *testing.T) {
+	if got := LossFromMargin(math.Inf(-1)); got != 1 {
+		t.Fatalf("loss at -inf margin = %v", got)
+	}
+	if got := LossFromMargin(20); got != 0 {
+		t.Fatalf("loss at 20 dB margin = %v, want 0", got)
+	}
+	if got := LossFromMargin(-20); got != 1 {
+		t.Fatalf("loss at -20 dB margin = %v, want 1", got)
+	}
+	// Grey zone: ~50% at the logistic center.
+	if got := LossFromMargin(1.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("loss at 1.5 dB = %v, want 0.5", got)
+	}
+}
+
+func TestLossFromMarginMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 40) - 20
+		b = math.Mod(math.Abs(b), 40) - 20
+		if a > b {
+			a, b = b, a
+		}
+		return LossFromMargin(a) >= LossFromMargin(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQualityDistanceOrdering(t *testing.T) {
+	// Nearer receivers must have at least the margin (and at most the
+	// loss) of farther ones.
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 25, Y: 0}, {X: 29, Y: 0}}
+	m := NewMedium(NewTwoRay(), pos)
+	p := TxPowerForRange(NewTwoRay(), 30, DefaultRxThreshold)
+	m.SetTxPower(0, p)
+	near := m.Quality(0, 1)
+	mid := m.Quality(0, 2)
+	far := m.Quality(0, 3)
+	if !(near.MarginDB > mid.MarginDB && mid.MarginDB > far.MarginDB) {
+		t.Fatalf("margins not decreasing: %v %v %v", near.MarginDB, mid.MarginDB, far.MarginDB)
+	}
+	if near.LossProb > mid.LossProb || mid.LossProb > far.LossProb {
+		t.Fatalf("loss not increasing: %v %v %v", near.LossProb, mid.LossProb, far.LossProb)
+	}
+	// A solid short link is effectively lossless; a link at the very edge
+	// of the range (margin ~0 dB) is in the grey zone.
+	if near.LossProb != 0 {
+		t.Fatalf("10 m link should be lossless, got %v", near.LossProb)
+	}
+	if far.LossProb < 0.5 {
+		t.Fatalf("29/30 m link should be grey, got %v", far.LossProb)
+	}
+}
+
+func TestQualityNoPower(t *testing.T) {
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	m := NewMedium(NewTwoRay(), pos) // zero tx power
+	q := m.Quality(0, 1)
+	if q.LossProb != 1 {
+		t.Fatalf("powerless link loss = %v", q.LossProb)
+	}
+	if !math.IsInf(q.MarginDB, -1) {
+		t.Fatalf("powerless margin = %v", q.MarginDB)
+	}
+}
+
+func TestHashShadowDeterministicAndAsymmetric(t *testing.T) {
+	f := HashShadow(7, 6)
+	if f(1, 2) != f(1, 2) {
+		t.Fatal("shadowing must be deterministic per link")
+	}
+	// Different links get different offsets (overwhelmingly likely).
+	same := 0
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			if a != b && f(a, b) == f(b, a) {
+				same++
+			}
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d symmetric link pairs; shadowing should be asymmetric", same)
+	}
+	// Roughly zero-mean with the requested spread.
+	sum, sumSq, n := 0.0, 0.0, 0
+	for a := 0; a < 40; a++ {
+		for b := 0; b < 40; b++ {
+			if a == b {
+				continue
+			}
+			v := f(a, b)
+			sum += v
+			sumSq += v * v
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.5 {
+		t.Fatalf("shadow mean %v far from 0", mean)
+	}
+	if std < 4.5 || std > 7.5 {
+		t.Fatalf("shadow std %v far from requested 6 dB", std)
+	}
+}
+
+func TestHashShadowSeedsDiffer(t *testing.T) {
+	a, b := HashShadow(1, 6), HashShadow(2, 6)
+	diff := 0
+	for i := 0; i < 20; i++ {
+		if a(i, i+1) != b(i, i+1) {
+			diff++
+		}
+	}
+	if diff < 15 {
+		t.Fatalf("different seeds should give different shadows (%d/20 differ)", diff)
+	}
+}

@@ -1,0 +1,161 @@
+package radio
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Medium is the shared wireless channel: node positions, per-node transmit
+// powers, a propagation model, and SINR-based reception with accumulated
+// interference.
+type Medium struct {
+	prop         Propagation
+	pos          []geom.Point
+	txPower      []float64
+	RxThreshold  float64 // minimum received power for decoding, watts
+	CaptureRatio float64 // linear SINR required to capture
+	NoiseFloor   float64 // ambient noise, watts
+	CSThreshold  float64 // carrier-sense threshold, watts (for CSMA MACs)
+}
+
+// NewMedium returns a Medium over the given node positions. All nodes
+// start with zero transmit power; set them with SetTxPower.
+func NewMedium(prop Propagation, pos []geom.Point) *Medium {
+	return &Medium{
+		prop:         prop,
+		pos:          append([]geom.Point(nil), pos...),
+		txPower:      make([]float64, len(pos)),
+		RxThreshold:  DefaultRxThreshold,
+		CaptureRatio: DefaultCaptureRatio,
+		NoiseFloor:   DefaultNoiseFloor,
+		CSThreshold:  DefaultRxThreshold / 20,
+	}
+}
+
+// N returns the number of nodes on the medium.
+func (m *Medium) N() int { return len(m.pos) }
+
+// Pos returns the position of node i.
+func (m *Medium) Pos(i int) geom.Point { return m.pos[m.checkNode(i)] }
+
+// SetTxPower sets node i's transmit power in watts.
+func (m *Medium) SetTxPower(i int, watts float64) {
+	if watts < 0 {
+		panic("radio: negative tx power")
+	}
+	m.txPower[m.checkNode(i)] = watts
+}
+
+// TxPower returns node i's transmit power in watts.
+func (m *Medium) TxPower(i int) float64 { return m.txPower[m.checkNode(i)] }
+
+func (m *Medium) checkNode(i int) int {
+	if i < 0 || i >= len(m.pos) {
+		panic(fmt.Sprintf("radio: node %d out of range [0,%d)", i, len(m.pos)))
+	}
+	return i
+}
+
+// linkProp returns the propagation model bound to the ordered link
+// (from, to) when the model supports per-link shadowing.
+func (m *Medium) linkProp(from, to int) Propagation {
+	if ld, ok := m.prop.(*LogDistance); ok {
+		return ld.ForLink(from, to)
+	}
+	return m.prop
+}
+
+// ReceivedPower returns the power node rx hears from node tx transmitting
+// at its configured power, in watts.
+func (m *Medium) ReceivedPower(tx, rx int) float64 {
+	m.checkNode(tx)
+	m.checkNode(rx)
+	if tx == rx {
+		return 0
+	}
+	d := m.pos[tx].Dist(m.pos[rx])
+	return m.linkProp(tx, rx).ReceivedPower(m.txPower[tx], d)
+}
+
+// InRange reports whether rx can decode tx's signal in a quiet channel
+// (received power at or above the reception threshold plus noise margin).
+// This is the "can reliably communicate with" relation used to build the
+// cluster connectivity graph.
+func (m *Medium) InRange(tx, rx int) bool {
+	if tx == rx {
+		return false
+	}
+	pr := m.ReceivedPower(tx, rx)
+	return pr >= m.RxThreshold && pr >= m.CaptureRatio*m.NoiseFloor
+}
+
+// Carries reports whether rx senses carrier from tx (for CSMA MACs).
+func (m *Medium) Carries(tx, rx int) bool {
+	if tx == rx {
+		return false
+	}
+	return m.ReceivedPower(tx, rx) >= m.CSThreshold
+}
+
+// Transmission is one intended packet transfer on the medium.
+type Transmission struct {
+	From, To int
+}
+
+// String implements fmt.Stringer.
+func (t Transmission) String() string { return fmt.Sprintf("%d->%d", t.From, t.To) }
+
+// Receives decides whether the transmission txs[i] is successfully decoded
+// when all the transmissions in txs are concurrent, using SINR with
+// accumulated interference: the intended signal must meet the reception
+// threshold and exceed CaptureRatio times (noise + the sum of all other
+// concurrent signals heard at the receiver). A receiver that is itself
+// transmitting, or that is the target of two concurrent transmissions,
+// never decodes (sensors are half-duplex single-radio devices).
+func (m *Medium) Receives(txs []Transmission, i int) bool {
+	t := txs[i]
+	m.checkNode(t.From)
+	m.checkNode(t.To)
+	if t.From == t.To {
+		return false
+	}
+	signal := m.ReceivedPower(t.From, t.To)
+	if signal < m.RxThreshold {
+		return false
+	}
+	interference := m.NoiseFloor
+	for j, o := range txs {
+		if j == i {
+			continue
+		}
+		if o.From == t.To {
+			return false // half duplex: receiver is transmitting
+		}
+		if o.To == t.To {
+			return false // two packets addressed to the same receiver
+		}
+		interference += m.ReceivedPower(o.From, t.To)
+	}
+	return signal >= m.CaptureRatio*interference
+}
+
+// GroupCompatible reports whether every transmission in txs succeeds when
+// all are concurrent. This is the ground truth the cluster head's testing
+// protocol observes. Duplicate senders in the group are incompatible (a
+// node cannot send two packets at once).
+func (m *Medium) GroupCompatible(txs []Transmission) bool {
+	for i := range txs {
+		for j := i + 1; j < len(txs); j++ {
+			if txs[i].From == txs[j].From {
+				return false
+			}
+		}
+	}
+	for i := range txs {
+		if !m.Receives(txs, i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+// Package radio models the wireless physical layer: propagation (free
+// space, two-ray ground — the model the paper's NS-2 setup uses — and
+// log-distance shadowing), SINR-based packet reception with *accumulated*
+// interference, and the compatibility oracles the cluster head uses to
+// decide which groups of transmissions may share a time slot.
+//
+// The paper explicitly rejects the pairwise "protocol model" because a
+// group of pairwise-compatible transmissions can still collide when their
+// interference accumulates (its Fig. 3), and rejects pure power-law decay
+// because measured signal power at long range is arbitrary. This package
+// therefore exposes reception as a function of the full concurrent
+// transmission set, and lets the head learn compatibility only by testing
+// groups of bounded size M (the TestedOracle).
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants and NS-2-compatible defaults.
+const (
+	// DefaultFrequency is the carrier frequency in Hz (914 MHz WaveLAN,
+	// the classic NS-2 default the paper's setup inherits).
+	DefaultFrequency = 914e6
+	// SpeedOfLight in m/s.
+	SpeedOfLight = 299792458.0
+	// DefaultAntennaHeight is the NS-2 default antenna height in meters.
+	DefaultAntennaHeight = 1.5
+	// DefaultRxThreshold is the NS-2 default reception power threshold in
+	// watts (RXThresh_).
+	DefaultRxThreshold = 3.652e-10
+	// DefaultCaptureRatio is the linear SINR required to capture a packet
+	// over accumulated interference (NS-2 CPThresh_ = 10 dB).
+	DefaultCaptureRatio = 10.0
+	// DefaultNoiseFloor is the ambient noise power in watts; small against
+	// RxThreshold so that noise alone never blocks an in-range link.
+	DefaultNoiseFloor = 1e-13
+)
+
+// Propagation computes received power as a function of transmit power and
+// distance. Implementations must be monotonically non-increasing in
+// distance for d > 0.
+type Propagation interface {
+	// ReceivedPower returns the power in watts at distance d meters when
+	// transmitting at txPower watts.
+	ReceivedPower(txPower, d float64) float64
+	// Name identifies the model in experiment logs.
+	Name() string
+}
+
+// FreeSpace is the Friis free-space model: Pr = Pt Gt Gr lambda^2 /
+// ((4 pi)^2 d^2 L).
+type FreeSpace struct {
+	Gt, Gr float64 // antenna gains (default 1)
+	Lambda float64 // wavelength in meters
+	L      float64 // system loss (default 1)
+}
+
+// NewFreeSpace returns a FreeSpace model at the default frequency with
+// unity gains and loss.
+func NewFreeSpace() *FreeSpace {
+	return &FreeSpace{Gt: 1, Gr: 1, Lambda: SpeedOfLight / DefaultFrequency, L: 1}
+}
+
+// ReceivedPower implements Propagation.
+func (m *FreeSpace) ReceivedPower(txPower, d float64) float64 {
+	if d <= 0 {
+		return txPower
+	}
+	den := 16 * math.Pi * math.Pi * d * d * m.L
+	return txPower * m.Gt * m.Gr * m.Lambda * m.Lambda / den
+}
+
+// Name implements Propagation.
+func (m *FreeSpace) Name() string { return "free-space" }
+
+// TwoRay is the two-ray ground-reflection model used by the paper's NS-2
+// setup: free space up to the crossover distance, then Pr = Pt Gt Gr
+// ht^2 hr^2 / d^4.
+type TwoRay struct {
+	Gt, Gr float64 // antenna gains
+	Ht, Hr float64 // antenna heights in meters
+	Lambda float64 // wavelength in meters
+	L      float64 // system loss
+}
+
+// NewTwoRay returns a TwoRay model with the NS-2 defaults (1.5 m antennas,
+// 914 MHz, unity gains and loss).
+func NewTwoRay() *TwoRay {
+	return &TwoRay{
+		Gt: 1, Gr: 1,
+		Ht: DefaultAntennaHeight, Hr: DefaultAntennaHeight,
+		Lambda: SpeedOfLight / DefaultFrequency,
+		L:      1,
+	}
+}
+
+// Crossover returns the distance at which the two-ray model departs from
+// free space: dc = 4 pi ht hr / lambda.
+func (m *TwoRay) Crossover() float64 {
+	return 4 * math.Pi * m.Ht * m.Hr / m.Lambda
+}
+
+// ReceivedPower implements Propagation.
+func (m *TwoRay) ReceivedPower(txPower, d float64) float64 {
+	if d <= 0 {
+		return txPower
+	}
+	if d < m.Crossover() {
+		den := 16 * math.Pi * math.Pi * d * d * m.L
+		return txPower * m.Gt * m.Gr * m.Lambda * m.Lambda / den
+	}
+	return txPower * m.Gt * m.Gr * m.Ht * m.Ht * m.Hr * m.Hr / (d * d * d * d * m.L)
+}
+
+// Name implements Propagation.
+func (m *TwoRay) Name() string { return "two-ray" }
+
+// LogDistance is a log-distance path-loss model with deterministic
+// per-link shadowing, approximating the "arbitrary" received powers the
+// paper cites from real measurements: Pr = Pt * (d0/d)^n * 10^(S/10) where
+// S is a per-link shadowing offset in dB supplied by the caller.
+type LogDistance struct {
+	Exponent float64 // path loss exponent n (2 free space, ~4 urban)
+	D0       float64 // reference distance in meters
+	P0Gain   float64 // gain at reference distance (fraction of Pt)
+	// ShadowDB returns the shadowing offset in dB for the ordered link
+	// (from, to). A nil function means no shadowing. Keeping shadowing a
+	// function of the link (not of time) makes runs reproducible while
+	// still giving the oddly-shaped, non-disc coverage areas the paper
+	// stresses.
+	ShadowDB func(from, to int) float64
+
+	from, to int // current link, set via ForLink
+}
+
+// NewLogDistance returns a log-distance model calibrated so that its
+// received power matches free space at the reference distance d0.
+func NewLogDistance(exponent, d0 float64) *LogDistance {
+	fs := NewFreeSpace()
+	return &LogDistance{
+		Exponent: exponent,
+		D0:       d0,
+		P0Gain:   fs.ReceivedPower(1, d0),
+	}
+}
+
+// ForLink returns a shallow copy of the model bound to the ordered link
+// (from, to) so that ReceivedPower applies that link's shadowing.
+func (m *LogDistance) ForLink(from, to int) *LogDistance {
+	c := *m
+	c.from, c.to = from, to
+	return &c
+}
+
+// ReceivedPower implements Propagation.
+func (m *LogDistance) ReceivedPower(txPower, d float64) float64 {
+	if d <= 0 {
+		return txPower
+	}
+	if d < m.D0 {
+		d = m.D0
+	}
+	pr := txPower * m.P0Gain * math.Pow(m.D0/d, m.Exponent)
+	if m.ShadowDB != nil {
+		pr *= math.Pow(10, m.ShadowDB(m.from, m.to)/10)
+	}
+	return pr
+}
+
+// Name implements Propagation.
+func (m *LogDistance) Name() string {
+	return fmt.Sprintf("log-distance(n=%.1f)", m.Exponent)
+}
+
+// HashShadow returns a deterministic per-link shadowing function for
+// LogDistance: each ordered link (from, to) gets a fixed offset drawn from
+// an approximately normal distribution with the given standard deviation
+// in dB. Links are independent and asymmetric — the oddly shaped,
+// non-convex coverage areas the paper insists real deployments have.
+func HashShadow(seed int64, sigmaDB float64) func(from, to int) float64 {
+	return func(from, to int) float64 {
+		h := uint64(seed)
+		h = h*0x9E3779B97F4A7C15 + uint64(uint32(from))
+		h = h*0x9E3779B97F4A7C15 + uint64(uint32(to))
+		h ^= h >> 29
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 32
+		// Sum of four uniforms approximates a normal (Irwin-Hall).
+		sum := 0.0
+		for i := 0; i < 4; i++ {
+			h ^= h >> 33
+			h *= 0xFF51AFD7ED558CCD
+			sum += float64(h%1_000_000) / 1_000_000
+		}
+		// Irwin-Hall(4): mean 2, variance 1/3. Normalize to N(0,1).
+		z := (sum - 2) / math.Sqrt(1.0/3.0)
+		return z * sigmaDB
+	}
+}
+
+// TxPowerForRange returns the transmit power needed under model m for the
+// received power at distance r to equal the reception threshold. This is
+// how experiments pick sensor and head powers: the paper states each node
+// "can communicate with other nodes as far as [its range] away" at its
+// maximum power.
+func TxPowerForRange(m Propagation, r, rxThreshold float64) float64 {
+	unit := m.ReceivedPower(1, r)
+	if unit <= 0 {
+		panic("radio: model yields non-positive power at range")
+	}
+	return rxThreshold / unit
+}

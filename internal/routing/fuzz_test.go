@@ -1,0 +1,33 @@
+package routing
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSourceRoute hardens the wire-format parser: arbitrary bytes
+// must never panic, and every successful decode must re-encode to the
+// same prefix.
+func FuzzDecodeSourceRoute(f *testing.F) {
+	seed, _ := EncodeSourceRoute([]int{7, 3, 0})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		route, n, err := DecodeSourceRoute(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re, err := EncodeSourceRoute(route)
+		if err != nil {
+			t.Fatalf("decoded route %v does not re-encode: %v", route, err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("round trip mismatch: %x vs %x", re, data[:n])
+		}
+	})
+}

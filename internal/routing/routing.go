@@ -1,0 +1,410 @@
+// Package routing computes load-balanced relaying paths for a cluster
+// (Section III-A of the paper): choose, for every sensor, paths to the
+// cluster head such that the maximum per-sensor load — own packets plus
+// relayed packets per duty cycle — is minimized.
+//
+// Following the paper (after Chang–Tassiulas and Bogdanov et al.), the
+// min-max problem is solved through a flow network in which each sensor is
+// split into an input and an output node joined by an arc of capacity
+// delta; wireless links get infinite capacity and a super-source feeds
+// each sensor its demand. The smallest delta whose max-flow satisfies all
+// demand is the optimal max load. The paper increments delta by one and
+// re-runs the flow ("we can start with a small delta ... then increment");
+// a binary-search variant is provided as an ablation.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DeltaSearch selects how the minimum feasible node capacity is located.
+type DeltaSearch int
+
+const (
+	// LinearSearch increments delta by one from the lower bound, the
+	// strategy described in the paper.
+	LinearSearch DeltaSearch = iota
+	// BinarySearch bisects between the lower bound and total demand.
+	BinarySearch
+)
+
+// WeightedPath is one relaying path carrying an integral number of packets
+// per duty cycle.
+type WeightedPath struct {
+	// Nodes lists the path from the source sensor to the cluster head
+	// inclusive: Nodes[0] is the sensor, Nodes[len-1] the head.
+	Nodes []int
+	// Weight is the number of packets per duty cycle routed on this path.
+	Weight int
+}
+
+// Plan is the outcome of load-balanced routing for one cluster.
+type Plan struct {
+	// Head is the cluster head's node id.
+	Head int
+	// Delta is the achieved min-max sensor load (packets transmitted per
+	// duty cycle by the busiest sensor, own packets included).
+	Delta int
+	// Paths[v] holds the relaying paths of sensor v; weights sum to v's
+	// demand. Sensors with zero demand have no entry.
+	Paths map[int][]WeightedPath
+	// Solves counts the max-flow invocations used by the delta search,
+	// recorded for the linear-vs-binary ablation.
+	Solves int
+}
+
+// BalancedPaths computes load-balanced relaying paths on the connectivity
+// graph g toward head. demand[v] is the number of packets sensor v must
+// deliver per duty cycle (demand[head] must be 0). The search strategy
+// picks how delta is located; both return identical Delta values.
+func BalancedPaths(g *graph.Undirected, head int, demand []int, search DeltaSearch) (*Plan, error) {
+	if len(demand) != g.N() {
+		return nil, fmt.Errorf("routing: demand has %d entries for %d nodes", len(demand), g.N())
+	}
+	if head < 0 || head >= g.N() {
+		return nil, fmt.Errorf("routing: head %d out of range", head)
+	}
+	if demand[head] != 0 {
+		return nil, fmt.Errorf("routing: head cannot have demand")
+	}
+	levels := g.BFSLevels(head)
+	total, maxDemand := 0, 0
+	for v, d := range demand {
+		if d < 0 {
+			return nil, fmt.Errorf("routing: negative demand %d at sensor %d", d, v)
+		}
+		if d > 0 && levels[v] < 0 {
+			return nil, fmt.Errorf("routing: sensor %d has demand but no path to head", v)
+		}
+		total += d
+		if d > maxDemand {
+			maxDemand = d
+		}
+	}
+	plan := &Plan{Head: head, Paths: make(map[int][]WeightedPath)}
+	if total == 0 {
+		return plan, nil
+	}
+
+	feasible := func(delta int) (*network, bool) {
+		nw := buildNetwork(g, head, demand, int64(delta))
+		plan.Solves++
+		return nw, nw.fn.MaxFlow(nw.src, nw.sink) == int64(total)
+	}
+
+	var sat *network
+	switch search {
+	case LinearSearch:
+		for delta := maxDemand; ; delta++ {
+			if delta > total {
+				return nil, fmt.Errorf("routing: no feasible delta up to total demand %d", total)
+			}
+			nw, ok := feasible(delta)
+			if ok {
+				plan.Delta = delta
+				sat = nw
+				break
+			}
+		}
+	case BinarySearch:
+		lo, hi := maxDemand, total
+		if _, ok := feasible(hi); !ok {
+			return nil, fmt.Errorf("routing: no feasible delta up to total demand %d", total)
+		}
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if _, ok := feasible(mid); ok {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		plan.Delta = lo
+		sat, _ = feasible(lo)
+	default:
+		return nil, fmt.Errorf("routing: unknown search strategy %d", search)
+	}
+
+	paths, err := sat.decompose(demand)
+	if err != nil {
+		return nil, err
+	}
+	plan.Paths = paths
+	return plan, nil
+}
+
+// network is the node-split flow network of Section III-A.
+type network struct {
+	fn        *graph.FlowNetwork
+	src, sink int
+	n         int // original node count
+	head      int
+	srcEdge   []int // per-sensor source arc id (-1 if no demand)
+	nodeEdge  []int // per-sensor in->out arc id (-1 for head)
+	linkEdge  map[[2]int]int
+}
+
+// buildNetwork assembles the flow network: vertices 2v (input) and 2v+1
+// (output) for every original node v, a super source and the head's input
+// as sink.
+func buildNetwork(g *graph.Undirected, head int, demand []int, delta int64) *network {
+	n := g.N()
+	fn := graph.NewFlowNetwork(2*n + 1)
+	src := 2 * n
+	sink := 2*head + 0 // head's input node collects all packets
+	nw := &network{
+		fn: fn, src: src, sink: sink, n: n, head: head,
+		srcEdge:  make([]int, n),
+		nodeEdge: make([]int, n),
+		linkEdge: make(map[[2]int]int),
+	}
+	in := func(v int) int { return 2 * v }
+	out := func(v int) int { return 2*v + 1 }
+	for v := 0; v < n; v++ {
+		nw.srcEdge[v], nw.nodeEdge[v] = -1, -1
+		if v == head {
+			continue
+		}
+		// Node capacity delta bounds own + relayed packets.
+		nw.nodeEdge[v] = fn.AddEdge(in(v), out(v), delta)
+		if demand[v] > 0 {
+			nw.srcEdge[v] = fn.AddEdge(src, in(v), int64(demand[v]))
+		}
+	}
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		// Directed arcs from each sensor's output to its neighbor's
+		// input. Arcs into the head terminate at the sink.
+		if u != head && v != head {
+			nw.linkEdge[[2]int{u, v}] = fn.AddEdge(out(u), in(v), graph.Inf)
+			nw.linkEdge[[2]int{v, u}] = fn.AddEdge(out(v), in(u), graph.Inf)
+		} else {
+			s := u
+			if s == head {
+				s = v
+			}
+			nw.linkEdge[[2]int{s, head}] = fn.AddEdge(out(s), sink, graph.Inf)
+		}
+	}
+	return nw
+}
+
+// decompose peels the solved flow into per-sensor weighted paths. Flow
+// cycles (possible in principle after augmentation) are cancelled on the
+// fly.
+func (nw *network) decompose(demand []int) (map[int][]WeightedPath, error) {
+	// Remaining flow per forward edge.
+	rem := make(map[int]int64)
+	record := func(id int) {
+		if id >= 0 {
+			if f := nw.fn.EdgeFlow(id); f > 0 {
+				rem[id] = f
+			}
+		}
+	}
+	for v := 0; v < nw.n; v++ {
+		record(nw.srcEdge[v])
+		record(nw.nodeEdge[v])
+	}
+	for _, id := range nw.linkEdge {
+		record(id)
+	}
+	// Adjacency of positive-flow edges by tail vertex.
+	outEdges := make(map[int][]int)
+	for id := range rem {
+		u, _ := nw.fn.EdgeEnds(id)
+		outEdges[u] = append(outEdges[u], id)
+	}
+	for _, es := range outEdges {
+		sort.Ints(es) // deterministic decomposition
+	}
+	nextEdge := func(u int) int {
+		for _, id := range outEdges[u] {
+			if rem[id] > 0 {
+				return id
+			}
+		}
+		return -1
+	}
+
+	paths := make(map[int][]WeightedPath)
+	// Peel demand[v] units per sensor, in sensor order for determinism.
+	for v := 0; v < nw.n; v++ {
+		if v == nw.head || demand[v] == 0 {
+			continue
+		}
+		need := int64(demand[v])
+		for need > 0 {
+			route, amount, err := nw.peel(v, rem, nextEdge, need)
+			if err != nil {
+				return nil, err
+			}
+			paths[v] = append(paths[v], WeightedPath{Nodes: route, Weight: int(amount)})
+			need -= amount
+		}
+	}
+	return paths, nil
+}
+
+// peel extracts one path for sensor v of at most maxAmount units, walking
+// positive-flow edges from v's input node to the sink and cancelling any
+// cycles encountered.
+func (nw *network) peel(v int, rem map[int]int64, nextEdge func(int) int, maxAmount int64) ([]int, int64, error) {
+	srcID := nw.srcEdge[v]
+	if srcID < 0 || rem[srcID] <= 0 {
+		return nil, 0, fmt.Errorf("routing: decomposition missing supply for sensor %d", v)
+	}
+	for {
+		// Walk from in(v); nodeEdge then link edges until sink.
+		edges := []int{srcID}
+		visited := map[int]int{2 * v: 0} // vertex -> index in walk
+		cur := 2 * v
+		cycled := false
+		for cur != nw.sink {
+			id := nextEdge(cur)
+			if id == -1 {
+				return nil, 0, fmt.Errorf("routing: decomposition stuck at vertex %d", cur)
+			}
+			_, to := nw.fn.EdgeEnds(id)
+			if at, seen := visited[to]; seen {
+				// Cancel the cycle edges[at+1..] (the edges after
+				// reaching `to` the first time, up to and including id).
+				cyc := append(append([]int(nil), edges[at+1:]...), id)
+				var m int64 = -1
+				for _, e := range cyc {
+					if m < 0 || rem[e] < m {
+						m = rem[e]
+					}
+				}
+				for _, e := range cyc {
+					rem[e] -= m
+				}
+				cycled = true
+				break
+			}
+			edges = append(edges, id)
+			visited[to] = len(edges) - 1
+			cur = to
+		}
+		if cycled {
+			continue
+		}
+		// Bottleneck along the walk, capped by the remaining demand.
+		amount := maxAmount
+		for _, e := range edges {
+			if rem[e] < amount {
+				amount = rem[e]
+			}
+		}
+		if amount <= 0 {
+			return nil, 0, fmt.Errorf("routing: zero bottleneck for sensor %d", v)
+		}
+		for _, e := range edges {
+			rem[e] -= amount
+		}
+		// Convert split vertices back to node ids: the walk visits
+		// src->in(v)->out(v)->in(u)->out(u)->...->sink.
+		route := []int{v}
+		for _, e := range edges[1:] {
+			_, to := nw.fn.EdgeEnds(e)
+			if to == nw.sink {
+				route = append(route, nw.head)
+			} else if to%2 == 0 && to/2 != route[len(route)-1] {
+				route = append(route, to/2)
+			}
+		}
+		return route, amount, nil
+	}
+}
+
+// Loads returns the per-node transmission load induced by routing each
+// sensor's packets along the given per-cycle routes: every node on a
+// packet's route except the head transmits it once. routes[v] must start
+// at v and end at the head for every sensor with positive demand.
+func Loads(n int, head int, routes map[int][]int, demand []int) ([]int, error) {
+	load := make([]int, n)
+	for v, d := range demand {
+		if d == 0 || v == head {
+			continue
+		}
+		r := routes[v]
+		if len(r) < 2 || r[0] != v || r[len(r)-1] != head {
+			return nil, fmt.Errorf("routing: bad route for sensor %d: %v", v, r)
+		}
+		for _, x := range r[:len(r)-1] {
+			if x < 0 || x >= n || x == head {
+				return nil, fmt.Errorf("routing: route of %d passes through invalid node %d", v, x)
+			}
+			load[x] += d
+		}
+	}
+	return load, nil
+}
+
+// CycleRoutes selects one route per sensor for the given duty-cycle index
+// by rotating through the plan's weighted paths in proportion to their
+// weights — the "multiple paths rotation" of Section V-D. The same cycle
+// index always yields the same routes.
+func (p *Plan) CycleRoutes(cycle int) map[int][]int {
+	if cycle < 0 {
+		cycle = -cycle
+	}
+	routes := make(map[int][]int, len(p.Paths))
+	for v, ps := range p.Paths {
+		total := 0
+		for _, wp := range ps {
+			total += wp.Weight
+		}
+		slot := cycle % total
+		for _, wp := range ps {
+			if slot < wp.Weight {
+				routes[v] = wp.Nodes
+				break
+			}
+			slot -= wp.Weight
+		}
+	}
+	return routes
+}
+
+// MaxLoad returns the largest per-sensor average load implied by the
+// plan's weighted paths (fractional over the rotation period); it equals
+// Delta when the flow solution is tight.
+func (p *Plan) MaxLoad(n int) int {
+	load := make([]int, n)
+	for _, ps := range p.Paths {
+		for _, wp := range ps {
+			for _, x := range wp.Nodes[:len(wp.Nodes)-1] {
+				load[x] += wp.Weight
+			}
+		}
+	}
+	max := 0
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// DependentTable builds, for each sensor, the one-hop next-hop table for
+// all of its dependents under the given per-cycle routes (Section V-C's
+// alternative to source routing): table[u][w] = v means packets
+// originating at w arriving at u are forwarded to v.
+func DependentTable(routes map[int][]int) map[int]map[int]int {
+	table := make(map[int]map[int]int)
+	for w, r := range routes {
+		for i := 0; i+1 < len(r); i++ {
+			u := r[i]
+			if table[u] == nil {
+				table[u] = make(map[int]int)
+			}
+			table[u][w] = r[i+1]
+		}
+	}
+	return table
+}

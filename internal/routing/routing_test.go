@@ -1,0 +1,329 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+)
+
+// lineCluster builds head(0) - 1 - 2 - ... - n as a path.
+func lineCluster(n int) *graph.Undirected {
+	g := graph.NewUndirected(n + 1)
+	for v := 1; v <= n; v++ {
+		g.AddEdge(v-1, v)
+	}
+	return g
+}
+
+func unitDemand(n int) []int {
+	d := make([]int, n+1)
+	for v := 1; v <= n; v++ {
+		d[v] = 1
+	}
+	return d
+}
+
+func TestBalancedPathsLine(t *testing.T) {
+	// On a line every packet must pass through sensor 1: delta = n.
+	g := lineCluster(4)
+	plan, err := BalancedPaths(g, 0, unitDemand(4), LinearSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Delta != 4 {
+		t.Fatalf("Delta = %d want 4", plan.Delta)
+	}
+	r := plan.CycleRoutes(0)
+	want := map[int][]int{
+		1: {1, 0}, 2: {2, 1, 0}, 3: {3, 2, 1, 0}, 4: {4, 3, 2, 1, 0},
+	}
+	for v, w := range want {
+		got := r[v]
+		if len(got) != len(w) {
+			t.Fatalf("route[%d] = %v want %v", v, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("route[%d] = %v want %v", v, got, w)
+			}
+		}
+	}
+}
+
+func TestBalancedPathsParallelBranches(t *testing.T) {
+	// Two first-level sensors 1,2; second-level sensor 3 connected to
+	// both. Demands 1 each. Optimal delta = 2 (3's packet must add to one
+	// branch).
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	plan, err := BalancedPaths(g, 0, []int{0, 1, 1, 1}, LinearSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Delta != 2 {
+		t.Fatalf("Delta = %d want 2", plan.Delta)
+	}
+	if got := plan.MaxLoad(4); got != 2 {
+		t.Fatalf("MaxLoad = %d want 2", got)
+	}
+}
+
+func TestBalancedPathsSplitsFlow(t *testing.T) {
+	// Sensor 3 has demand 2 and two branches whose first-level sensors
+	// each carry their own packet; the min-max solution must route one of
+	// 3's packets per branch: delta = 2, not 3.
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	plan, err := BalancedPaths(g, 0, []int{0, 1, 1, 2}, LinearSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Delta != 2 {
+		t.Fatalf("Delta = %d want 2", plan.Delta)
+	}
+	ps := plan.Paths[3]
+	if len(ps) != 2 {
+		t.Fatalf("expected split into 2 paths, got %v", ps)
+	}
+	// Rotation must alternate between the two paths.
+	r0 := plan.CycleRoutes(0)[3]
+	r1 := plan.CycleRoutes(1)[3]
+	if r0[1] == r1[1] {
+		t.Fatalf("rotation did not alternate: %v vs %v", r0, r1)
+	}
+	if got := plan.CycleRoutes(2)[3]; got[1] != r0[1] {
+		t.Fatalf("rotation period wrong: cycle2 %v want %v", got, r0)
+	}
+}
+
+func TestBinaryAndLinearAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(10)
+		g := graph.NewUndirected(n + 1)
+		// Random connected sensor graph with a couple of head links.
+		for v := 1; v <= n; v++ {
+			if v == 1 || rng.Float64() < 0.3 {
+				g.AddEdge(0, v)
+			}
+			if v > 1 {
+				g.AddEdge(v, 1+rng.Intn(v-1))
+			}
+		}
+		demand := make([]int, n+1)
+		for v := 1; v <= n; v++ {
+			demand[v] = rng.Intn(4)
+		}
+		lin, err := BalancedPaths(g, 0, demand, LinearSearch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := BalancedPaths(g, 0, demand, BinarySearch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lin.Delta != bin.Delta {
+			t.Fatalf("trial %d: linear delta %d != binary %d", trial, lin.Delta, bin.Delta)
+		}
+	}
+}
+
+func TestPlanInvariantsOnRealClusters(t *testing.T) {
+	for _, n := range []int{10, 30, 50} {
+		c, err := topo.Build(topo.DefaultConfig(n, int64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		demand := make([]int, n+1)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for v := 1; v <= n; v++ {
+			demand[v] = 1 + rng.Intn(3)
+		}
+		plan, err := BalancedPaths(c.G, topo.Head, demand, LinearSearch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Path weights must sum to demand and every path must be a valid
+		// walk on the connectivity graph ending at the head.
+		for v := 1; v <= n; v++ {
+			sum := 0
+			for _, wp := range plan.Paths[v] {
+				sum += wp.Weight
+				if wp.Nodes[0] != v || wp.Nodes[len(wp.Nodes)-1] != topo.Head {
+					t.Fatalf("n=%d sensor %d: bad endpoints %v", n, v, wp.Nodes)
+				}
+				for i := 1; i < len(wp.Nodes); i++ {
+					if !c.G.HasEdge(wp.Nodes[i-1], wp.Nodes[i]) {
+						t.Fatalf("n=%d sensor %d: non-edge step in %v", n, v, wp.Nodes)
+					}
+				}
+				seen := map[int]bool{}
+				for _, x := range wp.Nodes {
+					if seen[x] {
+						t.Fatalf("n=%d sensor %d: loop in path %v", n, v, wp.Nodes)
+					}
+					seen[x] = true
+				}
+			}
+			if sum != demand[v] {
+				t.Fatalf("n=%d sensor %d: weights sum %d != demand %d", n, v, sum, demand[v])
+			}
+		}
+		// Average load over the full rotation must respect delta.
+		if got := plan.MaxLoad(n + 1); got > plan.Delta {
+			t.Fatalf("n=%d: MaxLoad %d exceeds delta %d", n, got, plan.Delta)
+		}
+	}
+}
+
+func TestDeltaIsOptimalOnSmallClusters(t *testing.T) {
+	// Brute-force optimality check: try all single-path assignments (each
+	// sensor one shortest-ish path) — delta from the flow must be <= the
+	// best single-path max load, and no assignment may beat it.
+	g := graph.NewUndirected(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 4)
+	demand := []int{0, 1, 1, 1, 1}
+	plan, err := BalancedPaths(g, 0, demand, LinearSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enumerate routes: 3 can go via 1 or 2; 4 must go via 1.
+	best := 1 << 30
+	for _, via := range []int{1, 2} {
+		routes := map[int][]int{
+			1: {1, 0}, 2: {2, 0}, 4: {4, 1, 0},
+			3: {3, via, 0},
+		}
+		load, err := Loads(5, 0, routes, demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := 0
+		for _, l := range load {
+			if l > max {
+				max = l
+			}
+		}
+		if max < best {
+			best = max
+		}
+	}
+	if plan.Delta != best {
+		t.Fatalf("Delta = %d, brute force best = %d", plan.Delta, best)
+	}
+}
+
+func TestBalancedPathsErrors(t *testing.T) {
+	g := lineCluster(2)
+	if _, err := BalancedPaths(g, 0, []int{0, 1}, LinearSearch); err == nil {
+		t.Error("short demand slice should error")
+	}
+	if _, err := BalancedPaths(g, 9, unitDemand(2), LinearSearch); err == nil {
+		t.Error("bad head should error")
+	}
+	if _, err := BalancedPaths(g, 0, []int{1, 0, 0}, LinearSearch); err == nil {
+		t.Error("head demand should error")
+	}
+	if _, err := BalancedPaths(g, 0, []int{0, -1, 0}, LinearSearch); err == nil {
+		t.Error("negative demand should error")
+	}
+	if _, err := BalancedPaths(g, 0, unitDemand(2), DeltaSearch(9)); err == nil {
+		t.Error("unknown strategy should error")
+	}
+	// Disconnected sensor with demand.
+	g2 := graph.NewUndirected(3)
+	g2.AddEdge(0, 1)
+	if _, err := BalancedPaths(g2, 0, []int{0, 0, 1}, LinearSearch); err == nil {
+		t.Error("unreachable demand should error")
+	}
+}
+
+func TestZeroDemandPlan(t *testing.T) {
+	g := lineCluster(3)
+	plan, err := BalancedPaths(g, 0, make([]int, 4), LinearSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Delta != 0 || len(plan.Paths) != 0 {
+		t.Fatalf("zero-demand plan: %+v", plan)
+	}
+	if len(plan.CycleRoutes(0)) != 0 {
+		t.Fatal("zero-demand routes should be empty")
+	}
+}
+
+func TestBinarySearchUsesFewerSolves(t *testing.T) {
+	// On a line with many sensors the linear search walks delta from 1
+	// upward; binary should need far fewer max-flow solves.
+	n := 24
+	g := lineCluster(n)
+	lin, err := BalancedPaths(g, 0, unitDemand(n), LinearSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := BalancedPaths(g, 0, unitDemand(n), BinarySearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Solves <= bin.Solves {
+		t.Fatalf("linear %d solves vs binary %d: expected binary to win on a line",
+			lin.Solves, bin.Solves)
+	}
+}
+
+func TestLoadsValidation(t *testing.T) {
+	if _, err := Loads(3, 0, map[int][]int{1: {1, 2}}, []int{0, 1, 0}); err == nil {
+		t.Error("route not ending at head should error")
+	}
+	if _, err := Loads(3, 0, map[int][]int{1: {2, 0}}, []int{0, 1, 0}); err == nil {
+		t.Error("route not starting at sensor should error")
+	}
+	load, err := Loads(3, 0, map[int][]int{1: {1, 0}, 2: {2, 1, 0}}, []int{0, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load[1] != 5 || load[2] != 3 {
+		t.Fatalf("loads = %v", load)
+	}
+}
+
+func TestDependentTable(t *testing.T) {
+	routes := map[int][]int{
+		2: {2, 1, 0},
+		3: {3, 2, 1, 0},
+		1: {1, 0},
+	}
+	table := DependentTable(routes)
+	if table[1][3] != 0 || table[2][3] != 1 || table[3][3] != 2 {
+		t.Fatalf("table for dependent 3 wrong: %v", table)
+	}
+	if table[1][2] != 0 || table[2][2] != 1 {
+		t.Fatalf("table for dependent 2 wrong: %v", table)
+	}
+	if table[1][1] != 0 {
+		t.Fatalf("table for dependent 1 wrong: %v", table)
+	}
+}
+
+func TestCycleRoutesNegativeCycle(t *testing.T) {
+	g := lineCluster(2)
+	plan, err := BalancedPaths(g, 0, unitDemand(2), LinearSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.CycleRoutes(-3)) != 2 {
+		t.Fatal("negative cycle index should still produce routes")
+	}
+}

@@ -1,0 +1,86 @@
+package routing
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Source routing (Section V-C): after the head computes the optimal
+// relaying paths, traffic must actually follow them. One way is for each
+// sensor to prepend its full relaying path to every packet; relays forward
+// to the next node listed. The alternative — each sensor holding a
+// one-hop next-hop table for its dependents (DependentTable) — trades
+// packet bytes for sensor memory. This file implements the wire format of
+// the source-route header so the cluster runtime can charge its real byte
+// cost.
+
+// maxRouteNodes bounds a header to something a sensor packet can carry.
+const maxRouteNodes = 255
+
+// EncodeSourceRoute serializes a relaying path as a length-prefixed list
+// of 16-bit node ids (big endian).
+func EncodeSourceRoute(route []int) ([]byte, error) {
+	if len(route) == 0 {
+		return nil, fmt.Errorf("routing: empty route")
+	}
+	if len(route) > maxRouteNodes {
+		return nil, fmt.Errorf("routing: route of %d nodes exceeds header capacity", len(route))
+	}
+	buf := make([]byte, 1+2*len(route))
+	buf[0] = byte(len(route))
+	for i, v := range route {
+		if v < 0 || v > 0xFFFF {
+			return nil, fmt.Errorf("routing: node id %d does not fit in 16 bits", v)
+		}
+		binary.BigEndian.PutUint16(buf[1+2*i:], uint16(v))
+	}
+	return buf, nil
+}
+
+// DecodeSourceRoute parses a header produced by EncodeSourceRoute and
+// returns the route plus the number of bytes consumed.
+func DecodeSourceRoute(b []byte) (route []int, n int, err error) {
+	if len(b) == 0 {
+		return nil, 0, fmt.Errorf("routing: empty header")
+	}
+	count := int(b[0])
+	if count == 0 {
+		return nil, 0, fmt.Errorf("routing: zero-length route")
+	}
+	need := 1 + 2*count
+	if len(b) < need {
+		return nil, 0, fmt.Errorf("routing: header truncated: need %d bytes, have %d", need, len(b))
+	}
+	route = make([]int, count)
+	for i := range route {
+		route[i] = int(binary.BigEndian.Uint16(b[1+2*i:]))
+	}
+	return route, need, nil
+}
+
+// SourceRouteBytes returns the header size in bytes for a route of the
+// given node count.
+func SourceRouteBytes(nodes int) int {
+	if nodes <= 0 {
+		return 0
+	}
+	return 1 + 2*nodes
+}
+
+// NextHopFromHeader returns the node after `self` in the encoded route —
+// what a relay does with an incoming source-routed packet.
+func NextHopFromHeader(b []byte, self int) (int, error) {
+	route, _, err := DecodeSourceRoute(b)
+	if err != nil {
+		return 0, err
+	}
+	for i, v := range route {
+		if v == self {
+			if i+1 >= len(route) {
+				return 0, fmt.Errorf("routing: node %d is the route's terminus", self)
+			}
+			return route[i+1], nil
+		}
+	}
+	return 0, fmt.Errorf("routing: node %d not on the route", self)
+}

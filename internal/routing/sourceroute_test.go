@@ -1,0 +1,165 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceRouteRoundTrip(t *testing.T) {
+	routes := [][]int{
+		{5, 0},
+		{9, 4, 2, 0},
+		{65535, 1234, 0},
+	}
+	for _, r := range routes {
+		b, err := EncodeSourceRoute(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != SourceRouteBytes(len(r)) {
+			t.Fatalf("header %d bytes, want %d", len(b), SourceRouteBytes(len(r)))
+		}
+		got, n, err := DecodeSourceRoute(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(b) {
+			t.Fatalf("consumed %d of %d", n, len(b))
+		}
+		for i := range r {
+			if got[i] != r[i] {
+				t.Fatalf("round trip %v -> %v", r, got)
+			}
+		}
+	}
+}
+
+func TestSourceRouteRoundTripQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 255 {
+			return true
+		}
+		route := make([]int, len(raw))
+		for i, v := range raw {
+			route[i] = int(v)
+		}
+		b, err := EncodeSourceRoute(route)
+		if err != nil {
+			return false
+		}
+		got, _, err := DecodeSourceRoute(b)
+		if err != nil || len(got) != len(route) {
+			return false
+		}
+		for i := range route {
+			if got[i] != route[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeSourceRouteErrors(t *testing.T) {
+	if _, err := EncodeSourceRoute(nil); err == nil {
+		t.Error("empty route should error")
+	}
+	if _, err := EncodeSourceRoute([]int{-1, 0}); err == nil {
+		t.Error("negative id should error")
+	}
+	if _, err := EncodeSourceRoute([]int{70000, 0}); err == nil {
+		t.Error("oversized id should error")
+	}
+	big := make([]int, 300)
+	if _, err := EncodeSourceRoute(big); err == nil {
+		t.Error("oversized route should error")
+	}
+}
+
+func TestDecodeSourceRouteErrors(t *testing.T) {
+	if _, _, err := DecodeSourceRoute(nil); err == nil {
+		t.Error("empty header should error")
+	}
+	if _, _, err := DecodeSourceRoute([]byte{0}); err == nil {
+		t.Error("zero count should error")
+	}
+	if _, _, err := DecodeSourceRoute([]byte{3, 0, 1}); err == nil {
+		t.Error("truncated header should error")
+	}
+}
+
+func TestNextHopFromHeader(t *testing.T) {
+	b, err := EncodeSourceRoute([]int{7, 3, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		self, want int
+	}{{7, 3}, {3, 1}, {1, 0}}
+	for _, c := range cases {
+		got, err := NextHopFromHeader(b, c.self)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("next hop of %d = %d want %d", c.self, got, c.want)
+		}
+	}
+	if _, err := NextHopFromHeader(b, 0); err == nil {
+		t.Error("terminus should error")
+	}
+	if _, err := NextHopFromHeader(b, 99); err == nil {
+		t.Error("off-route node should error")
+	}
+}
+
+func TestSourceRouteBytesZero(t *testing.T) {
+	if SourceRouteBytes(0) != 0 || SourceRouteBytes(-1) != 0 {
+		t.Error("non-positive node counts should cost 0 bytes")
+	}
+}
+
+func TestHeaderForwardingMatchesDependentTable(t *testing.T) {
+	// The two Section V-C mechanisms must agree: forwarding by header
+	// equals forwarding by one-hop table, on random tree routes.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(8)
+		// Random tree toward head 0.
+		parent := make([]int, n)
+		for v := 1; v < n; v++ {
+			parent[v] = rng.Intn(v)
+		}
+		routes := map[int][]int{}
+		for v := 1; v < n; v++ {
+			r := []int{v}
+			for x := v; x != 0; {
+				x = parent[x]
+				r = append(r, x)
+			}
+			routes[v] = r
+		}
+		table := DependentTable(routes)
+		for w, r := range routes {
+			b, err := EncodeSourceRoute(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i+1 < len(r); i++ {
+				u := r[i]
+				viaHeader, err := NextHopFromHeader(b, u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if viaHeader != table[u][w] {
+					t.Fatalf("trial %d: node %d forwards %d's packet to %d via header, %d via table",
+						trial, u, w, viaHeader, table[u][w])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package sector
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// This file reproduces Theorem 5: the Cluster Partition problem (CPAR) —
+// does a sector partition exist whose maximum pseudo power consumption
+// rate is at most a bound B — is NP-complete, by reduction from the
+// Partition problem.
+//
+// The construction (the paper's Fig. 6): two first-level sensors S1 and S2
+// connect to the head; for each integer a_i of the Partition instance a
+// chain of a_i sensors is drawn whose first sensor connects to *both* S1
+// and S2. Each sensor holds one packet. Any feasible partition must put S1
+// and S2 in different sectors and assign every chain wholly to one of
+// them; meeting the bound forces the chain sizes to split evenly — a
+// solution to Partition.
+
+// CPARInstance is a CPAR decision instance derived from a Partition
+// instance.
+type CPARInstance struct {
+	// A is the originating Partition multiset.
+	A []int
+	// G is the cluster connectivity graph; node 0 is the head, 1 and 2
+	// are the first-level sensors S1, S2, and chains follow.
+	G *graph.Undirected
+	// ChainOf[i] lists the node ids of chain i, in order from the sensor
+	// adjacent to S1/S2 outward.
+	ChainOf [][]int
+	// Bound is the pseudo-rate bound B for which the instance is a "yes"
+	// iff A partitions evenly (with alpha = beta = 1).
+	Bound float64
+}
+
+// Head is the head's node id in a CPAR instance.
+const cparHead = 0
+
+// CPARFromPartition builds the Fig. 6 construction for the positive
+// integers a.
+func CPARFromPartition(a []int) (*CPARInstance, error) {
+	total := 0
+	for _, v := range a {
+		if v <= 0 {
+			return nil, fmt.Errorf("sector: Partition instance requires positive integers, got %d", v)
+		}
+		total += v
+	}
+	n := 1 + 2 + total // head + S1 + S2 + chain sensors
+	g := graph.NewUndirected(n)
+	g.AddEdge(cparHead, 1)
+	g.AddEdge(cparHead, 2)
+	inst := &CPARInstance{A: append([]int(nil), a...), G: g}
+	next := 3
+	for _, size := range a {
+		chain := make([]int, size)
+		for j := 0; j < size; j++ {
+			chain[j] = next
+			next++
+			if j == 0 {
+				g.AddEdge(chain[0], 1)
+				g.AddEdge(chain[0], 2)
+			} else {
+				g.AddEdge(chain[j], chain[j-1])
+			}
+		}
+		inst.ChainOf = append(inst.ChainOf, chain)
+	}
+	// With unit demand everywhere and alpha = beta = 1, a balanced split
+	// gives each root load 1 + total/2 and sector size 1 + total/2:
+	// pseudo rate 2 + total. Any imbalance, or a single sector, exceeds
+	// it.
+	inst.Bound = 2 + float64(total)
+	return inst, nil
+}
+
+// Demand returns the instance's unit demand vector (head excluded).
+func (inst *CPARInstance) Demand() []int {
+	d := make([]int, inst.G.N())
+	for v := 1; v < inst.G.N(); v++ {
+		d[v] = 1
+	}
+	return d
+}
+
+// SolveCPAR decides the instance exactly by enumerating every feasible
+// sector structure: the cluster has only two first-level sensors, so a
+// partition is either one sector containing everything or two sectors
+// with each chain assigned wholly to S1's or S2's side. It returns a
+// satisfying assignment of chains to S1's sector (true = with S1) when the
+// bound is met.
+func (inst *CPARInstance) SolveCPAR() (assign []bool, ok bool) {
+	k := len(inst.ChainOf)
+	// A single sector never meets the bound: with sector size 2+total,
+	// the busier root's pseudo rate is at least (1 + total/2) + (2 +
+	// total) > 2 + total. Only two-sector splits need enumeration.
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		s1Load, s1Count := 1, 1
+		s2Load, s2Count := 1, 1
+		for i, chain := range inst.ChainOf {
+			if mask&(1<<uint(i)) != 0 {
+				s1Load += len(chain)
+				s1Count += len(chain)
+			} else {
+				s2Load += len(chain)
+				s2Count += len(chain)
+			}
+		}
+		// Root pseudo rates dominate chain sensors' (a chain sensor's
+		// load is at most its chain length <= its root's relayed load).
+		r1 := float64(s1Load) + float64(s1Count)
+		r2 := float64(s2Load) + float64(s2Count)
+		max := r1
+		if r2 > max {
+			max = r2
+		}
+		if max <= inst.Bound {
+			out := make([]bool, k)
+			for i := range out {
+				out[i] = mask&(1<<uint(i)) != 0
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// VerifyReduction checks both directions of the Theorem 5 equivalence on
+// this instance: CPAR answers "yes" exactly when the Partition instance
+// has an even split, and a satisfying CPAR assignment induces one.
+func (inst *CPARInstance) VerifyReduction() error {
+	_, partitionable := graph.Partition(inst.A)
+	assign, ok := inst.SolveCPAR()
+	if ok != partitionable {
+		return fmt.Errorf("sector: CPAR=%v but Partition=%v for %v", ok, partitionable, inst.A)
+	}
+	if !ok {
+		return nil
+	}
+	s1 := 0
+	for i, withS1 := range assign {
+		if withS1 {
+			s1 += inst.A[i]
+		}
+	}
+	total := 0
+	for _, v := range inst.A {
+		total += v
+	}
+	if 2*s1 != total {
+		return fmt.Errorf("sector: CPAR assignment splits %d/%d, not even", s1, total-s1)
+	}
+	return nil
+}
+
+// PartitionToSectors converts a chain assignment into an explicit
+// Partition over the instance's cluster, for use with the generic pseudo
+// rate machinery.
+func (inst *CPARInstance) PartitionToSectors(assign []bool) (*Partition, error) {
+	if len(assign) != len(inst.ChainOf) {
+		return nil, fmt.Errorf("sector: assignment covers %d of %d chains", len(assign), len(inst.ChainOf))
+	}
+	n := inst.G.N()
+	parent := make([]int, n)
+	parent[cparHead] = cparHead
+	parent[1] = cparHead
+	parent[2] = cparHead
+	sec1, sec2 := []int{1}, []int{2}
+	for i, chain := range inst.ChainOf {
+		root := 2
+		if assign[i] {
+			root = 1
+		}
+		parent[chain[0]] = root
+		for j := 1; j < len(chain); j++ {
+			parent[chain[j]] = chain[j-1]
+		}
+		if assign[i] {
+			sec1 = append(sec1, chain...)
+		} else {
+			sec2 = append(sec2, chain...)
+		}
+	}
+	sort.Ints(sec1)
+	sort.Ints(sec2)
+	return &Partition{
+		Head:    cparHead,
+		Parent:  parent,
+		Sectors: [][]int{sec1, sec2},
+		Roots:   [][]int{{1}, {2}},
+	}, nil
+}

@@ -1,0 +1,54 @@
+package sector_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sector"
+)
+
+// Sector partitioning on a two-branch cluster: the branches are connected
+// (edge 3-4), so the pairing rules merge them into a single sector with
+// two first-level roots.
+func ExampleBuildPartition() {
+	g := graph.NewUndirected(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 4)
+	g.AddEdge(3, 4)
+	routes := map[int][]int{
+		1: {1, 0}, 2: {2, 0}, 3: {3, 1, 0}, 4: {4, 2, 0},
+	}
+	demand := []int{0, 1, 1, 1, 1}
+	p, err := sector.BuildPartition(g, 0, routes, demand, sector.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sectors:", p.NSectors())
+	fmt.Println("roots:", p.Roots[0])
+	// Output:
+	// sectors: 1
+	// roots: [1 2]
+}
+
+// Theorem 5's construction: the Fig. 6 Partition instance {3,2,1,2}
+// becomes a cluster whose optimal sector split solves Partition.
+func ExampleCPARFromPartition() {
+	inst, err := sector.CPARFromPartition([]int{3, 2, 1, 2})
+	if err != nil {
+		panic(err)
+	}
+	assign, ok := inst.SolveCPAR()
+	fmt.Println("satisfiable:", ok)
+	s1 := 0
+	for i, withS1 := range assign {
+		if withS1 {
+			s1 += inst.A[i]
+		}
+	}
+	fmt.Println("S1's chain load:", s1)
+	// Output:
+	// satisfiable: true
+	// S1's chain load: 4
+}

@@ -1,0 +1,24 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Schedule events on the simulated clock; they fire in time order with
+// deterministic FIFO tie-breaking.
+func ExampleEngine() {
+	var e sim.Engine
+	e.Schedule(2*time.Second, func() { fmt.Println("second at", e.Now()) })
+	e.Schedule(time.Second, func() {
+		fmt.Println("first at", e.Now())
+		e.Schedule(500*time.Millisecond, func() { fmt.Println("nested at", e.Now()) })
+	})
+	e.Run(10 * time.Second)
+	// Output:
+	// first at 1s
+	// nested at 1.5s
+	// second at 2s
+}

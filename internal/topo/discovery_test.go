@@ -1,0 +1,91 @@
+package topo
+
+import "testing"
+
+func TestLossyDiscoveryConvergesToReliableGraph(t *testing.T) {
+	c, err := Build(DefaultConfig(25, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, messages := c.DiscoverConnectivityLossy(7, 3)
+	// Every reliable edge (loss <= 5%) survives a 7-round majority vote
+	// with overwhelming probability; grey links are voted out.
+	missing, extra := 0, 0
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			switch {
+			case c.G.HasEdge(u, v) && !g.HasEdge(u, v):
+				missing++
+			case !c.G.HasEdge(u, v) && g.HasEdge(u, v):
+				extra++
+			}
+		}
+	}
+	if missing != 0 {
+		t.Errorf("%d reliable edges missed by the vote", missing)
+	}
+	// Extra edges are links in the grey band between "reliable" (<= 5%
+	// loss) and "majority-heard" (< 50% loss): physically real but below
+	// the head's reliability bar. A handful is expected.
+	if total := len(c.G.Edges()); extra > total/3 {
+		t.Errorf("too many grey links admitted: %d of %d reliable edges", extra, total)
+	}
+	if want := 7*c.Med.N() + 2*(c.Med.N()-1); messages != want {
+		t.Errorf("messages = %d want %d", messages, want)
+	}
+}
+
+func TestLossyDiscoveryMoreRoundsHelp(t *testing.T) {
+	c, err := Build(DefaultConfig(20, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grey links (20-50% loss) can legitimately pass a majority vote at
+	// any round count; what more rounds must improve is the recall of
+	// *reliable* edges.
+	missed := func(rounds int) int {
+		g, _ := c.DiscoverConnectivityLossy(rounds, 5)
+		d := 0
+		for _, e := range c.G.Edges() {
+			if !g.HasEdge(e[0], e[1]) {
+				d++
+			}
+		}
+		return d
+	}
+	one := missed(1)
+	many := missed(15)
+	if many > one {
+		t.Errorf("15 rounds missed %d reliable edges, 1 round missed %d", many, one)
+	}
+	if many != 0 {
+		t.Errorf("15-round vote should recover every reliable edge, missed %d", many)
+	}
+}
+
+func TestLossyDiscoveryPanicsOnBadRounds(t *testing.T) {
+	c, err := Build(DefaultConfig(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.DiscoverConnectivityLossy(0, 1)
+}
+
+func TestReliableIsSubsetOfInRange(t *testing.T) {
+	c, err := Build(DefaultConfig(15, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < c.Med.N(); u++ {
+		for v := 0; v < c.Med.N(); v++ {
+			if u != v && c.Reliable(u, v) && !c.Med.InRange(u, v) {
+				t.Fatalf("reliable link %d->%d is not even decodable", u, v)
+			}
+		}
+	}
+}

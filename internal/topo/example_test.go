@@ -1,0 +1,42 @@
+package topo_test
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Build a cluster: sensors uniformly deployed around a central head, with
+// outer sensors needing multiple hops.
+func ExampleBuild() {
+	c, err := topo.Build(topo.DefaultConfig(30, 42))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sensors:", c.Sensors())
+	fmt.Println("multi-hop:", c.MaxLevel() > 1)
+	fmt.Println("head reaches everyone:", func() bool {
+		for v := 1; v <= c.Sensors(); v++ {
+			if !c.Med.InRange(topo.Head, v) {
+				return false
+			}
+		}
+		return true
+	}())
+	// Output:
+	// sensors: 30
+	// multi-hop: true
+	// head reaches everyone: true
+}
+
+// Multi-cluster fields use Voronoi cluster forming (Section V-A) and
+// channel coloring (Section V-G).
+func ExampleBuildField() {
+	f := topo.BuildField(7, 400, 6, 120)
+	_, channels := f.ChannelAssignment(80)
+	fmt.Println("clusters:", len(f.Heads))
+	fmt.Println("channels within the paper's bound:", channels <= 6)
+	// Output:
+	// clusters: 6
+	// channels within the paper's bound: true
+}

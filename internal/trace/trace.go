@@ -1,0 +1,154 @@
+// Package trace records slot-level events of a polling run so operators
+// can audit exactly what the cluster head scheduled: which sensors
+// transmitted in each slot, where losses struck, when packets arrived.
+// Events export as CSV for offline analysis.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Kind labels one event.
+type Kind string
+
+// Event kinds.
+const (
+	KindTx       Kind = "tx"       // a transmission was scheduled
+	KindLoss     Kind = "loss"     // the transmission was lost
+	KindArrival  Kind = "arrival"  // the head received a packet
+	KindRetry    Kind = "retry"    // a request was re-activated
+	KindComplete Kind = "complete" // a request finished
+)
+
+// Event is one slot-level record.
+type Event struct {
+	// Cycle is the duty-cycle index the event belongs to (0 when the
+	// producer records a single run).
+	Cycle   int
+	Slot    int
+	Kind    Kind
+	From    int // transmitting node (tx/loss), or -1
+	To      int // receiving node (tx/loss), or -1
+	Request int // request ID, or -1
+}
+
+// Log is an append-only event log.
+type Log struct {
+	events []Event
+}
+
+// Add appends an event.
+func (l *Log) Add(e Event) { l.events = append(l.events, e) }
+
+// Events returns the log, ordered by cycle, then slot, then insertion.
+func (l *Log) Events() []Event {
+	out := append([]Event(nil), l.events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		return out[i].Slot < out[j].Slot
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// CountKind returns how many events of the given kind were recorded.
+func (l *Log) CountKind(k Kind) int {
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteCSV exports the log.
+func (l *Log) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,slot,kind,from,to,request"); err != nil {
+		return err
+	}
+	for _, e := range l.Events() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%s,%d,%d,%d\n",
+			e.Cycle, e.Slot, e.Kind, e.From, e.To, e.Request); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendSchedule records a schedule's events into the log under the given
+// cycle index (see FromSchedule for the event semantics).
+func (l *Log) AppendSchedule(cycle int, sched *core.Schedule, reqs []core.Request, loss core.LossFn) {
+	sub := FromSchedule(sched, reqs, loss)
+	for _, e := range sub.events {
+		e.Cycle = cycle
+		l.Add(e)
+	}
+}
+
+// FromSchedule reconstructs a trace from a completed pipelined polling
+// schedule plus the loss function it ran under (losses are re-derived
+// deterministically, which is why core.LossFn implementations must be
+// pure). It records every scheduled transmission, loss, arrival and
+// completion.
+func FromSchedule(sched *core.Schedule, reqs []core.Request, loss core.LossFn) *Log {
+	l := &Log{}
+	for s, group := range sched.Slots {
+		for _, tx := range group {
+			l.Add(Event{Slot: s, Kind: KindTx, From: tx.From, To: tx.To, Request: -1})
+			if loss != nil && loss(s, tx) {
+				l.Add(Event{Slot: s, Kind: KindLoss, From: tx.From, To: tx.To, Request: -1})
+			}
+		}
+	}
+	for _, r := range reqs {
+		if done, ok := sched.Completed[r.ID]; ok {
+			last := r.Tx(r.Hops() - 1)
+			l.Add(Event{Slot: done, Kind: KindArrival, From: last.From, To: last.To, Request: r.ID})
+			l.Add(Event{Slot: done, Kind: KindComplete, From: -1, To: -1, Request: r.ID})
+		}
+	}
+	return l
+}
+
+// Latencies returns, per request ID, the number of slots from the cycle's
+// first slot to the packet's arrival at the head — the polling latency a
+// data consumer observes.
+func Latencies(sched *core.Schedule) map[int]int {
+	out := make(map[int]int, len(sched.Completed))
+	for id, done := range sched.Completed {
+		out[id] = done + 1 // slots elapsed (1-based count)
+	}
+	return out
+}
+
+// LatencyStats summarizes a latency map.
+func LatencyStats(lat map[int]int) (min, max int, mean float64) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	first := true
+	sum := 0
+	for _, v := range lat {
+		if first {
+			min, max = v, v
+			first = false
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	return min, max, float64(sum) / float64(len(lat))
+}
