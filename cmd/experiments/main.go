@@ -28,12 +28,14 @@ func main() {
 		ablation = flag.String("ablation", "", "ablation to run: delta, m, delay, intercluster, interference, gap, order, energy, joint or all")
 		quick    = flag.Bool("quick", false, "use cut-down sweeps")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
+		workers  = flag.Int("workers", 0, "sweep worker-pool size; 0 = all CPUs, 1 = sequential")
 	)
 	flag.Parse()
 	if *fig == "" && *ablation == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	exp.Workers = *workers
 
 	var csvRows [][]string
 	var csvHeaders []string

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/radio"
 )
@@ -40,9 +39,9 @@ func Greedy(reqs []Request, opt Options) (*Schedule, *Stats, error) {
 		maxSlots = 64 * (totalHops + 1)
 	}
 	if opt.AllowDelay {
-		return greedyDelay(reqs, order, opt, maxSlots)
+		return greedyDelay(reqs, order, opt, maxSlots, totalHops)
 	}
-	return greedyPipelined(reqs, order, opt, maxSlots)
+	return greedyPipelined(reqs, order, opt, maxSlots, totalHops)
 }
 
 func scanOrder(reqs []Request, order []int) ([]int, error) {
@@ -73,24 +72,32 @@ type flight struct {
 	firstLoss int // hop index whose transmission is lost, or -1
 }
 
-func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots int) (*Schedule, *Stats, error) {
+func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots, totalHops int) (*Schedule, *Stats, error) {
 	m := opt.maxConcurrent()
-	sched := &Schedule{Start: make(map[int]int), Completed: make(map[int]int)}
+	sched := &Schedule{
+		// A lossless schedule never needs more than one slot per hop; the
+		// preallocation avoids growing the slot list one entry at a time.
+		Slots:     make([][]radio.Transmission, 0, totalHops),
+		Start:     make(map[int]int, len(reqs)),
+		Completed: make(map[int]int, len(reqs)),
+	}
 	st := newStats()
 
 	active := make([]bool, len(reqs))
 	remaining := len(reqs)
-	for i := range reqs {
+	maxHops := 0
+	for i, r := range reqs {
 		active[i] = true
-	}
-	arrivals := make(map[int][]flight)
-
-	slotAt := func(s int) []radio.Transmission {
-		for len(sched.Slots) <= s {
-			sched.Slots = append(sched.Slots, nil)
+		if h := r.Hops(); h > maxHops {
+			maxHops = h
 		}
-		return sched.Slots[s]
 	}
+	// Expected arrivals live at most maxHops-1 slots in the future, so a
+	// fixed ring indexed by slot replaces a map[int][]flight; buckets are
+	// reused across laps, making the steady state allocation-free.
+	ringSize := maxHops + 1
+	arrivals := make([][]flight, ringSize)
+	scratch := make([]radio.Transmission, 0, 16)
 
 	for slot := 0; remaining > 0; slot++ {
 		if slot >= maxSlots {
@@ -103,13 +110,15 @@ func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots int) (*S
 				continue
 			}
 			r := reqs[idx]
-			if !fits(sched, r, slot, m, opt.Oracle) {
+			if !fits(sched, r, slot, m, opt.Oracle, &scratch) {
 				continue
 			}
 			// Commit every hop to its slot.
 			for k := 0; k < r.Hops(); k++ {
 				s := slot + k
-				slotAt(s)
+				for len(sched.Slots) <= s {
+					sched.Slots = append(sched.Slots, nil)
+				}
 				sched.Slots[s] = append(sched.Slots[s], r.Tx(k))
 			}
 			f := flight{req: idx, start: slot, firstLoss: -1}
@@ -122,7 +131,7 @@ func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots int) (*S
 				}
 			}
 			done := slot + r.Hops() - 1
-			arrivals[done] = append(arrivals[done], f)
+			arrivals[done%ringSize] = append(arrivals[done%ringSize], f)
 			active[idx] = false
 			sched.Start[r.ID] = slot
 			// Physical accounting: hops up to and including the lost one
@@ -138,7 +147,8 @@ func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots int) (*S
 			}
 		}
 		// End of slot: the head checks expected arrivals.
-		for _, f := range arrivals[slot] {
+		bucket := arrivals[slot%ringSize]
+		for _, f := range bucket {
 			if f.firstLoss >= 0 {
 				st.Retries++
 				active[f.req] = true
@@ -147,7 +157,7 @@ func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots int) (*S
 				remaining--
 			}
 		}
-		delete(arrivals, slot)
+		arrivals[slot%ringSize] = bucket[:0]
 	}
 	st.Slots = len(sched.Slots)
 	return sched, st, nil
@@ -155,9 +165,11 @@ func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots int) (*S
 
 // fits reports whether request r, started at slot, keeps every affected
 // slot's transmission group compatible and within the concurrency cap m
-// (m == 0 means uncapped).
-func fits(sched *Schedule, r Request, slot, m int, oracle radio.CompatibilityOracle) bool {
-	group := make([]radio.Transmission, 0, 8)
+// (m == 0 means uncapped). The candidate groups are assembled in the
+// caller-owned scratch buffer so the per-candidate check allocates
+// nothing.
+func fits(sched *Schedule, r Request, slot, m int, oracle radio.CompatibilityOracle, scratch *[]radio.Transmission) bool {
+	group := (*scratch)[:0]
 	for k := 0; k < r.Hops(); k++ {
 		s := slot + k
 		var existing []radio.Transmission
@@ -165,35 +177,43 @@ func fits(sched *Schedule, r Request, slot, m int, oracle radio.CompatibilityOra
 			existing = sched.Slots[s]
 		}
 		if m > 0 && len(existing)+1 > m {
+			*scratch = group
 			return false
 		}
-		group = group[:0]
-		group = append(group, existing...)
+		group = append(group[:0], existing...)
 		group = append(group, r.Tx(k))
 		if !oracle.Compatible(group) {
+			*scratch = group
 			return false
 		}
 	}
+	*scratch = group
 	return true
 }
 
 // greedyDelay is the delay-allowed variant: every hop is scheduled
 // independently and a relay may hold a packet across slots. On loss the
 // failed hop is retried from the node that still holds the packet.
-func greedyDelay(reqs []Request, order []int, opt Options, maxSlots int) (*Schedule, *Stats, error) {
+func greedyDelay(reqs []Request, order []int, opt Options, maxSlots, totalHops int) (*Schedule, *Stats, error) {
 	m := opt.maxConcurrent()
-	sched := &Schedule{Start: make(map[int]int), Completed: make(map[int]int)}
+	sched := &Schedule{
+		Slots:     make([][]radio.Transmission, 0, totalHops),
+		Start:     make(map[int]int, len(reqs)),
+		Completed: make(map[int]int, len(reqs)),
+	}
 	st := newStats()
 
 	pos := make([]int, len(reqs)) // current holder index within the route
 	remaining := len(reqs)
+	group := make([]radio.Transmission, 0, 16)
+	movers := make([]int, 0, len(reqs))
 
 	for slot := 0; remaining > 0; slot++ {
 		if slot >= maxSlots {
 			return sched, st, fmt.Errorf("core: polling exceeded %d slots with %d packets outstanding", maxSlots, remaining)
 		}
-		var group []radio.Transmission
-		var movers []int
+		group = group[:0]
+		movers = movers[:0]
 		for _, idx := range order {
 			r := reqs[idx]
 			if pos[idx] >= r.Hops() {
@@ -203,11 +223,13 @@ func greedyDelay(reqs []Request, order []int, opt Options, maxSlots int) (*Sched
 			if m > 0 && len(group)+1 > m {
 				continue
 			}
-			cand := append(append([]radio.Transmission(nil), group...), tx)
-			if !opt.Oracle.Compatible(cand) {
+			// Test the candidate in place and roll back on rejection,
+			// instead of copying the whole group per candidate.
+			group = append(group, tx)
+			if !opt.Oracle.Compatible(group) {
+				group = group[:len(group)-1]
 				continue
 			}
-			group = cand
 			movers = append(movers, idx)
 			if pos[idx] == 0 {
 				if _, started := sched.Start[r.ID]; !started {
@@ -215,7 +237,7 @@ func greedyDelay(reqs []Request, order []int, opt Options, maxSlots int) (*Sched
 				}
 			}
 		}
-		sched.Slots = append(sched.Slots, group)
+		sched.Slots = append(sched.Slots, append([]radio.Transmission(nil), group...))
 		for gi, idx := range movers {
 			r := reqs[idx]
 			tx := group[gi]
@@ -248,7 +270,9 @@ func RandomLoss(seed int64, p float64) LossFn {
 
 // ProbLoss returns a LossFn with a per-transmission loss probability given
 // by prob (e.g. derived from each link's SNR margin via radio.Quality),
-// deterministic per (seed, slot, transmission).
+// deterministic per (seed, slot, transmission). The draw is a stateless
+// splitmix-style hash of (seed, slot, tx) — no RNG is constructed on the
+// hot path.
 func ProbLoss(seed int64, prob func(tx radio.Transmission) float64) LossFn {
 	return func(slot int, tx radio.Transmission) bool {
 		p := prob(tx)
@@ -258,11 +282,25 @@ func ProbLoss(seed int64, prob func(tx radio.Transmission) float64) LossFn {
 		if p >= 1 {
 			return true
 		}
-		h := seed
-		h = h*1000003 + int64(slot)
-		h = h*1000003 + int64(tx.From)
-		h = h*1000003 + int64(tx.To)
-		rng := rand.New(rand.NewSource(h))
-		return rng.Float64() < p
+		return lossUnit(seed, slot, tx) < p
 	}
+}
+
+// lossUnit maps (seed, slot, tx) to a uniform draw in [0, 1).
+func lossUnit(seed int64, slot int, tx radio.Transmission) float64 {
+	h := mix64(uint64(seed) ^ 0x9E3779B97F4A7C15)
+	h = mix64(h ^ uint64(slot)*0xBF58476D1CE4E5B9)
+	h = mix64(h ^ uint64(uint32(tx.From))*0x94D049BB133111EB)
+	h = mix64(h ^ uint64(uint32(tx.To))*0x9E3779B97F4A7C15)
+	return float64(h>>11) / (1 << 53)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }

@@ -23,13 +23,14 @@ type DeltaSearchRow struct {
 	LinearSolves, BinSolves int
 }
 
-// AblationDeltaSearch runs the routing search comparison.
+// AblationDeltaSearch runs the routing search comparison, one cluster
+// size per parallel sweep cell.
 func AblationDeltaSearch(nodes []int, seed int64) ([]DeltaSearchRow, error) {
-	var out []DeltaSearchRow
-	for _, n := range nodes {
+	return Sweep(len(nodes), sweepWorkers(0), func(i int) (DeltaSearchRow, error) {
+		n := nodes[i]
 		c, err := topo.Build(topo.DefaultConfig(n, seed))
 		if err != nil {
-			return nil, err
+			return DeltaSearchRow{}, err
 		}
 		demand := make([]int, n+1)
 		for v := 1; v <= n; v++ {
@@ -37,21 +38,20 @@ func AblationDeltaSearch(nodes []int, seed int64) ([]DeltaSearchRow, error) {
 		}
 		lin, err := routing.BalancedPaths(c.G, topo.Head, demand, routing.LinearSearch)
 		if err != nil {
-			return nil, err
+			return DeltaSearchRow{}, err
 		}
 		bin, err := routing.BalancedPaths(c.G, topo.Head, demand, routing.BinarySearch)
 		if err != nil {
-			return nil, err
+			return DeltaSearchRow{}, err
 		}
 		if lin.Delta != bin.Delta {
-			return nil, fmt.Errorf("exp: delta mismatch %d vs %d", lin.Delta, bin.Delta)
+			return DeltaSearchRow{}, fmt.Errorf("exp: delta mismatch %d vs %d", lin.Delta, bin.Delta)
 		}
-		out = append(out, DeltaSearchRow{
+		return DeltaSearchRow{
 			Nodes: n, Delta: lin.Delta,
 			LinearSolves: lin.Solves, BinSolves: bin.Solves,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // MRow reports the polling makespan (data slots per cycle) at one
@@ -65,12 +65,13 @@ type MRow struct {
 
 // AblationM sweeps the compatibility degree: larger M exposes more
 // parallelism (shorter schedules) at the cost of testing more groups.
+// Each M runs as its own parallel sweep cell.
 func AblationM(n int, ms []int, seed int64, cycles int) ([]MRow, error) {
-	var out []MRow
-	for _, m := range ms {
+	return Sweep(len(ms), sweepWorkers(0), func(i int) (MRow, error) {
+		m := ms[i]
 		c, err := topo.Build(topo.DefaultConfig(n, seed))
 		if err != nil {
-			return nil, err
+			return MRow{}, err
 		}
 		p := cluster.DefaultParams()
 		p.M = m
@@ -79,15 +80,14 @@ func AblationM(n int, ms []int, seed int64, cycles int) ([]MRow, error) {
 		p.Seed = seed
 		r, err := cluster.NewRunner(c, p)
 		if err != nil {
-			return nil, err
+			return MRow{}, err
 		}
 		s, err := r.Run(cycles)
 		if err != nil {
-			return nil, err
+			return MRow{}, err
 		}
-		out = append(out, MRow{M: m, DataSlots: s.MeanDataSlots, OracleTests: s.OracleTests})
-	}
-	return out, nil
+		return MRow{M: m, DataSlots: s.MeanDataSlots, OracleTests: s.OracleTests}, nil
+	})
 }
 
 // DelayRow compares the pipelined (no-delay) scheduler against the
@@ -97,13 +97,15 @@ type DelayRow struct {
 	PipelinedSlots, DelaySlots float64
 }
 
-// AblationDelay runs the comparison.
+// AblationDelay runs the comparison, one cluster size per parallel sweep
+// cell; the pipelined and delay-allowed runners inside a cell share one
+// deployment (the medium's query fast path is read-only).
 func AblationDelay(nodes []int, seed int64, cycles int) ([]DelayRow, error) {
-	var out []DelayRow
-	for _, n := range nodes {
+	return Sweep(len(nodes), sweepWorkers(0), func(i int) (DelayRow, error) {
+		n := nodes[i]
 		c, err := topo.Build(topo.DefaultConfig(n, seed))
 		if err != nil {
-			return nil, err
+			return DelayRow{}, err
 		}
 		base := cluster.DefaultParams()
 		base.RateBps = 40
@@ -124,15 +126,14 @@ func AblationDelay(nodes []int, seed int64, cycles int) ([]DelayRow, error) {
 		}
 		pipe, err := run(false)
 		if err != nil {
-			return nil, err
+			return DelayRow{}, err
 		}
 		delay, err := run(true)
 		if err != nil {
-			return nil, err
+			return DelayRow{}, err
 		}
-		out = append(out, DelayRow{Nodes: n, PipelinedSlots: pipe, DelaySlots: delay})
-	}
-	return out, nil
+		return DelayRow{Nodes: n, PipelinedSlots: pipe, DelaySlots: delay}, nil
+	})
 }
 
 // InterClusterRow compares the two Section V-G schemes for a multi-cluster
@@ -180,14 +181,17 @@ type InterferenceModelResult struct {
 }
 
 // AblationInterferenceModel schedules random clusters under both oracles
-// and validates each schedule against the SINR ground truth.
+// and validates each schedule against the SINR ground truth. Trials are
+// independent parallel sweep cells; the tallies are reduced afterwards.
 func AblationInterferenceModel(n, trials int, seed int64) (*InterferenceModelResult, error) {
-	res := &InterferenceModelResult{Trials: trials}
-	for trial := 0; trial < trials; trial++ {
+	type tally struct {
+		pairwise, sinr bool
+	}
+	tallies, err := Sweep(trials, sweepWorkers(0), func(trial int) (tally, error) {
 		s := seed + int64(trial)
 		c, err := topo.Build(topo.DefaultConfig(n, s))
 		if err != nil {
-			return nil, err
+			return tally{}, err
 		}
 		demand := make([]int, n+1)
 		for v := 1; v <= n; v++ {
@@ -195,7 +199,7 @@ func AblationInterferenceModel(n, trials int, seed int64) (*InterferenceModelRes
 		}
 		plan, err := routing.BalancedPaths(c.G, topo.Head, demand, routing.BinarySearch)
 		if err != nil {
-			return nil, err
+			return tally{}, err
 		}
 		routes := plan.CycleRoutes(0)
 		var reqs []core.Request
@@ -214,18 +218,24 @@ func AblationInterferenceModel(n, trials int, seed int64) (*InterferenceModelRes
 			}
 			return core.Validate(sched, reqs, truth) != nil, nil
 		}
-		collided, err := check(pairwise)
-		if err != nil {
-			return nil, err
+		var t tally
+		if t.pairwise, err = check(pairwise); err != nil {
+			return tally{}, err
 		}
-		if collided {
+		if t.sinr, err = check(truth); err != nil {
+			return tally{}, err
+		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &InterferenceModelResult{Trials: trials}
+	for _, t := range tallies {
+		if t.pairwise {
 			res.PairwiseCollisions++
 		}
-		collided, err = check(truth)
-		if err != nil {
-			return nil, err
-		}
-		if collided {
+		if t.sinr {
 			res.SINRCollisions++
 		}
 	}

@@ -109,6 +109,9 @@ func AblationOrder(n int, seed int64, cycles int) ([]OrderRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One tested oracle shared by all heuristics — it is concurrency-safe,
+	// so the parallel cells pool their learned compatibility knowledge
+	// exactly as one head would across polling cycles.
 	oracle := radio.NewTestedOracle(radio.SINROracle{M: c.Med}, 3)
 	orders := []struct {
 		name string
@@ -118,8 +121,8 @@ func AblationOrder(n int, seed int64, cycles int) ([]OrderRow, error) {
 		{"longest-first", core.OrderLongestFirst},
 		{"shortest-first", core.OrderShortestFirst},
 	}
-	var out []OrderRow
-	for _, ord := range orders {
+	return Sweep(len(orders), sweepWorkers(0), func(i int) (OrderRow, error) {
+		ord := orders[i]
 		total := 0
 		for cyc := 0; cyc < cycles; cyc++ {
 			routes := plan.CycleRoutes(cyc)
@@ -135,13 +138,12 @@ func AblationOrder(n int, seed int64, cycles int) ([]OrderRow, error) {
 				Oracle: oracle, Order: ord.fn(reqs),
 			})
 			if err != nil {
-				return nil, err
+				return OrderRow{}, err
 			}
 			total += sched.Makespan()
 		}
-		out = append(out, OrderRow{Order: ord.name, DataSlots: float64(total) / float64(cycles)})
-	}
-	return out, nil
+		return OrderRow{Order: ord.name, DataSlots: float64(total) / float64(cycles)}, nil
+	})
 }
 
 // EnergyModeRow reports active time and lifetime for one sleeping policy.
@@ -173,25 +175,25 @@ func AblationEnergyModes(n int, seed int64, cycles int, batteryJ float64) ([]Ene
 		{"sectors+early", func(p *cluster.Params) { p.UseSectors = true; p.EarlySleep = true }},
 	}
 	em := energy.DefaultModel()
-	var out []EnergyModeRow
-	for _, mode := range modes {
+	// The four policies share one deployment; each cell gets its own
+	// runner, and the medium's query fast path is read-only.
+	return Sweep(len(modes), sweepWorkers(0), func(i int) (EnergyModeRow, error) {
 		p := base
-		mode.mut(&p)
+		modes[i].mut(&p)
 		r, err := cluster.NewRunner(c, p)
 		if err != nil {
-			return nil, err
+			return EnergyModeRow{}, err
 		}
 		s, err := r.Run(cycles)
 		if err != nil {
-			return nil, err
+			return EnergyModeRow{}, err
 		}
-		out = append(out, EnergyModeRow{
-			Mode:       mode.name,
+		return EnergyModeRow{
+			Mode:       modes[i].name,
 			ActivePct:  s.MeanActive * 100,
 			LifetimeHr: s.Lifetime(em, batteryJ).Hours(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderGreedyGap formats the gap result.

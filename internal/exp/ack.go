@@ -26,19 +26,19 @@ type AckRow struct {
 }
 
 // AblationAckCover compares the greedy ack cover to the exhaustive
-// optimum. Cluster sizes must stay small: the exact solver enumerates
-// subsets of the candidate paths.
+// optimum, one cluster size per parallel sweep cell. Cluster sizes must
+// stay small: the exact solver enumerates subsets of the candidate paths.
 func AblationAckCover(nodes []int, seeds []int64) ([]AckRow, error) {
-	var out []AckRow
-	for _, n := range nodes {
+	return Sweep(len(nodes), sweepWorkers(0), func(i int) (AckRow, error) {
+		n := nodes[i]
 		if n > 20 {
-			return nil, fmt.Errorf("exp: exact ack cover limited to 20 sensors, got %d", n)
+			return AckRow{}, fmt.Errorf("exp: exact ack cover limited to 20 sensors, got %d", n)
 		}
 		var gCosts, oCosts, gPaths, oPaths []float64
 		for _, seed := range seeds {
 			c, err := topo.Build(topo.DefaultConfig(n, seed))
 			if err != nil {
-				return nil, err
+				return AckRow{}, err
 			}
 			demand := make([]int, n+1)
 			for v := 1; v <= n; v++ {
@@ -46,7 +46,7 @@ func AblationAckCover(nodes []int, seeds []int64) ([]AckRow, error) {
 			}
 			plan, err := routing.BalancedPaths(c.G, topo.Head, demand, routing.BinarySearch)
 			if err != nil {
-				return nil, err
+				return AckRow{}, err
 			}
 			routes := plan.CycleRoutes(0)
 			subsets := make([]graph.Subset, 0, n)
@@ -61,29 +61,28 @@ func AblationAckCover(nodes []int, seeds []int64) ([]AckRow, error) {
 			}
 			gChosen, gCost, err := graph.GreedySetCover(n, subsets)
 			if err != nil {
-				return nil, err
+				return AckRow{}, err
 			}
 			oChosen, oCost, err := graph.OptimalSetCover(n, subsets)
 			if err != nil {
-				return nil, err
+				return AckRow{}, err
 			}
 			if gCost < oCost-1e-9 {
-				return nil, fmt.Errorf("exp: greedy cover beat the optimum (%v < %v)", gCost, oCost)
+				return AckRow{}, fmt.Errorf("exp: greedy cover beat the optimum (%v < %v)", gCost, oCost)
 			}
 			gCosts = append(gCosts, gCost)
 			oCosts = append(oCosts, oCost)
 			gPaths = append(gPaths, float64(len(gChosen)))
 			oPaths = append(oPaths, float64(len(oChosen)))
 		}
-		out = append(out, AckRow{
+		return AckRow{
 			Nodes:        n,
 			GreedyCost:   stats.Mean(gCosts),
 			OptimalCost:  stats.Mean(oCosts),
 			GreedyPaths:  int(stats.Mean(gPaths) + 0.5),
 			OptimalPaths: int(stats.Mean(oPaths) + 0.5),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderAck formats the ack-cover ablation.

@@ -22,26 +22,26 @@ type CapacityRow struct {
 	TotalBps float64
 }
 
-// Capacity sweeps cluster sizes for the sustainable-rate frontier.
+// Capacity sweeps cluster sizes for the sustainable-rate frontier, one
+// size per parallel sweep cell.
 func Capacity(nodes []int, seeds []int64, p cluster.Params) ([]CapacityRow, error) {
-	var out []CapacityRow
-	for _, n := range nodes {
+	return Sweep(len(nodes), sweepWorkers(0), func(i int) (CapacityRow, error) {
+		n := nodes[i]
 		var rates []float64
 		for _, seed := range seeds {
 			c, err := topo.Build(topo.DefaultConfig(n, seed))
 			if err != nil {
-				return nil, err
+				return CapacityRow{}, err
 			}
 			r, err := cluster.MaxSustainableRate(c, p, 1, 8)
 			if err != nil {
-				return nil, err
+				return CapacityRow{}, err
 			}
 			rates = append(rates, r)
 		}
 		mean := stats.Mean(rates)
-		out = append(out, CapacityRow{Nodes: n, MaxRateBps: mean, TotalBps: mean * float64(n)})
-	}
-	return out, nil
+		return CapacityRow{Nodes: n, MaxRateBps: mean, TotalBps: mean * float64(n)}, nil
+	})
 }
 
 // RenderCapacity formats the frontier.

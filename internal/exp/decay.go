@@ -49,10 +49,12 @@ func DefaultDecay() DecayConfig {
 	}
 }
 
-// Decay runs the sweep.
+// Decay runs the sweep, one cluster size per parallel sweep cell (each
+// cell builds its own deployments, so the battery-death mutations stay
+// private to the cell).
 func Decay(cfg DecayConfig) ([]DecayRow, error) {
-	var out []DecayRow
-	for _, n := range cfg.Nodes {
+	return Sweep(len(cfg.Nodes), sweepWorkers(0), func(i int) (DecayRow, error) {
+		n := cfg.Nodes[i]
 		row := DecayRow{Nodes: n}
 		var pf, sf, ph, sh []float64
 		for _, seed := range cfg.Seeds {
@@ -72,11 +74,11 @@ func Decay(cfg DecayConfig) ([]DecayRow, error) {
 			}
 			a, b, err := run(false)
 			if err != nil {
-				return nil, err
+				return DecayRow{}, err
 			}
 			c, d, err := run(true)
 			if err != nil {
-				return nil, err
+				return DecayRow{}, err
 			}
 			pf = append(pf, a.Seconds())
 			ph = append(ph, b.Seconds())
@@ -90,9 +92,8 @@ func Decay(cfg DecayConfig) ([]DecayRow, error) {
 		row.PlainHalfLife = toDur(ph)
 		row.SectorFirstDeath = toDur(sf)
 		row.SectorHalfLife = toDur(sh)
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // RenderDecay formats the decay table.

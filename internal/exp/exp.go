@@ -24,6 +24,9 @@ type Fig7aConfig struct {
 	Seeds  []int64
 	Cycles int
 	Params cluster.Params
+	// Workers bounds the sweep's worker pool; 0 falls back to the
+	// package-level Workers default, then runtime.NumCPU().
+	Workers int
 }
 
 // DefaultFig7a mirrors the paper: 10-100 sensors, 20/40/60/80 B/s.
@@ -56,39 +59,48 @@ type Fig7aPoint struct {
 	Fits      bool // whether the duty fit the cycle at every seed
 }
 
-// Fig7a runs the active-time sweep.
+// Fig7a runs the active-time sweep. The (cluster size, rate) cells are
+// independent, so they run on the parallel sweep pool; the seed loop
+// stays inside each cell.
 func Fig7a(cfg Fig7aConfig) ([]Fig7aPoint, error) {
-	var out []Fig7aPoint
+	type cell struct {
+		n    int
+		rate float64
+	}
+	var cells []cell
 	for _, n := range cfg.Nodes {
 		for _, rate := range cfg.Rates {
-			var actives []float64
-			fits := true
-			for _, seed := range cfg.Seeds {
-				c, err := topo.Build(topo.DefaultConfig(n, seed))
-				if err != nil {
-					return nil, err
-				}
-				p := cfg.Params
-				p.RateBps = rate
-				p.Seed = seed
-				r, err := cluster.NewRunner(c, p)
-				if err != nil {
-					return nil, err
-				}
-				s, err := r.Run(cfg.Cycles)
-				if err != nil {
-					return nil, err
-				}
-				actives = append(actives, s.MeanActive*100)
-				fits = fits && s.AllFit
-			}
-			out = append(out, Fig7aPoint{
-				Nodes: n, RateBps: rate,
-				ActivePct: stats.Mean(actives), Fits: fits,
-			})
+			cells = append(cells, cell{n, rate})
 		}
 	}
-	return out, nil
+	return Sweep(len(cells), sweepWorkers(cfg.Workers), func(i int) (Fig7aPoint, error) {
+		n, rate := cells[i].n, cells[i].rate
+		var actives []float64
+		fits := true
+		for _, seed := range cfg.Seeds {
+			c, err := topo.Build(topo.DefaultConfig(n, seed))
+			if err != nil {
+				return Fig7aPoint{}, err
+			}
+			p := cfg.Params
+			p.RateBps = rate
+			p.Seed = seed
+			r, err := cluster.NewRunner(c, p)
+			if err != nil {
+				return Fig7aPoint{}, err
+			}
+			s, err := r.Run(cfg.Cycles)
+			if err != nil {
+				return Fig7aPoint{}, err
+			}
+			actives = append(actives, s.MeanActive*100)
+			fits = fits && s.AllFit
+		}
+		return Fig7aPoint{
+			Nodes: n, RateBps: rate,
+			ActivePct: stats.Mean(actives), Fits: fits,
+		}, nil
+	})
 }
 
 // RenderFig7a formats the sweep as the paper's figure: one row per
@@ -150,6 +162,9 @@ type Fig7bConfig struct {
 	Warmup  time.Duration
 	Cycles  int // polling cycles per seed
 	Params  cluster.Params
+	// Workers bounds the sweep's worker pool; 0 falls back to the
+	// package-level Workers default, then runtime.NumCPU().
+	Workers int
 }
 
 // DefaultFig7b mirrors the paper: 30 sensors, offered 100-1200 B/s,
@@ -190,56 +205,70 @@ type Fig7bPoint struct {
 	ThroughputBps float64
 }
 
-// Fig7b runs the throughput comparison.
+// Fig7b runs the throughput comparison. Every (offered load, series)
+// curve sample — the polling run and each S-MAC duty cycle — is an
+// independent cell on the parallel sweep pool, in the same order the
+// sequential loops produced them.
 func Fig7b(cfg Fig7bConfig) ([]Fig7bPoint, error) {
-	var out []Fig7bPoint
+	type cell struct {
+		load float64
+		smac bool
+		duty float64
+	}
+	var cells []cell
 	for _, load := range cfg.Loads {
-		rate := load / float64(cfg.Nodes)
-		// Polling: deliver fraction x offered.
-		var tp []float64
-		for _, seed := range cfg.Seeds {
-			c, err := topo.Build(topo.DefaultConfig(cfg.Nodes, seed))
-			if err != nil {
-				return nil, err
-			}
-			p := cfg.Params
-			p.RateBps = rate
-			p.Seed = seed
-			r, err := cluster.NewRunner(c, p)
-			if err != nil {
-				return nil, err
-			}
-			s, err := r.Run(cfg.Cycles)
-			if err != nil {
-				return nil, err
-			}
-			tp = append(tp, s.DeliveredFraction()*load)
-		}
-		out = append(out, Fig7bPoint{Series: "polling", OfferedBps: load, ThroughputBps: stats.Mean(tp)})
-
+		cells = append(cells, cell{load: load})
 		for _, duty := range cfg.Duties {
-			var tps []float64
+			cells = append(cells, cell{load: load, smac: true, duty: duty})
+		}
+	}
+	return Sweep(len(cells), sweepWorkers(cfg.Workers), func(i int) (Fig7bPoint, error) {
+		load := cells[i].load
+		rate := load / float64(cfg.Nodes)
+		if !cells[i].smac {
+			// Polling: deliver fraction x offered.
+			var tp []float64
 			for _, seed := range cfg.Seeds {
 				c, err := topo.Build(topo.DefaultConfig(cfg.Nodes, seed))
 				if err != nil {
-					return nil, err
+					return Fig7bPoint{}, err
 				}
-				nw, err := smac.NewNetwork(c.Med, topo.Head, smac.DefaultConfig(duty, seed))
+				p := cfg.Params
+				p.RateBps = rate
+				p.Seed = seed
+				r, err := cluster.NewRunner(c, p)
 				if err != nil {
-					return nil, err
+					return Fig7bPoint{}, err
 				}
-				nw.StartCBR(rate)
-				m := nw.Run(cfg.SimTime, cfg.Warmup)
-				tps = append(tps, m.ThroughputBps(cfg.SimTime-cfg.Warmup, cfg.Params.DataBytes))
+				s, err := r.Run(cfg.Cycles)
+				if err != nil {
+					return Fig7bPoint{}, err
+				}
+				tp = append(tp, s.DeliveredFraction()*load)
 			}
-			out = append(out, Fig7bPoint{
-				Series:        fmt.Sprintf("smac-%.2f", duty),
-				OfferedBps:    load,
-				ThroughputBps: stats.Mean(tps),
-			})
+			return Fig7bPoint{Series: "polling", OfferedBps: load, ThroughputBps: stats.Mean(tp)}, nil
 		}
-	}
-	return out, nil
+		duty := cells[i].duty
+		var tps []float64
+		for _, seed := range cfg.Seeds {
+			c, err := topo.Build(topo.DefaultConfig(cfg.Nodes, seed))
+			if err != nil {
+				return Fig7bPoint{}, err
+			}
+			nw, err := smac.NewNetwork(c.Med, topo.Head, smac.DefaultConfig(duty, seed))
+			if err != nil {
+				return Fig7bPoint{}, err
+			}
+			nw.StartCBR(rate)
+			m := nw.Run(cfg.SimTime, cfg.Warmup)
+			tps = append(tps, m.ThroughputBps(cfg.SimTime-cfg.Warmup, cfg.Params.DataBytes))
+		}
+		return Fig7bPoint{
+			Series:        fmt.Sprintf("smac-%.2f", duty),
+			OfferedBps:    load,
+			ThroughputBps: stats.Mean(tps),
+		}, nil
+	})
 }
 
 // RenderFig7b formats the comparison: one row per offered load, one
@@ -283,6 +312,9 @@ type Fig7cConfig struct {
 	Cycles   int
 	BatteryJ float64
 	Params   cluster.Params
+	// Workers bounds the sweep's worker pool; 0 falls back to the
+	// package-level Workers default, then runtime.NumCPU().
+	Workers int
 }
 
 // DefaultFig7c mirrors the paper: 10-50 sensors.
@@ -314,44 +346,44 @@ type Fig7cPoint struct {
 	Ratio float64
 }
 
-// Fig7c runs the sector lifetime comparison.
+// Fig7c runs the sector lifetime comparison, one cluster size per
+// parallel sweep cell.
 func Fig7c(cfg Fig7cConfig) ([]Fig7cPoint, error) {
 	em := energy.DefaultModel()
-	var out []Fig7cPoint
-	for _, n := range cfg.Nodes {
+	return Sweep(len(cfg.Nodes), sweepWorkers(cfg.Workers), func(i int) (Fig7cPoint, error) {
+		n := cfg.Nodes[i]
 		var ratios []float64
 		for _, seed := range cfg.Seeds {
 			c, err := topo.Build(topo.DefaultConfig(n, seed))
 			if err != nil {
-				return nil, err
+				return Fig7cPoint{}, err
 			}
 			base := cfg.Params
 			base.Seed = seed
 			plain, err := cluster.NewRunner(c, base)
 			if err != nil {
-				return nil, err
+				return Fig7cPoint{}, err
 			}
 			withSec := base
 			withSec.UseSectors = true
 			sectored, err := cluster.NewRunner(c, withSec)
 			if err != nil {
-				return nil, err
+				return Fig7cPoint{}, err
 			}
 			sp, err := plain.Run(cfg.Cycles)
 			if err != nil {
-				return nil, err
+				return Fig7cPoint{}, err
 			}
 			ss, err := sectored.Run(cfg.Cycles)
 			if err != nil {
-				return nil, err
+				return Fig7cPoint{}, err
 			}
 			lp := sp.Lifetime(em, cfg.BatteryJ)
 			ls := ss.Lifetime(em, cfg.BatteryJ)
 			ratios = append(ratios, float64(ls)/float64(lp))
 		}
-		out = append(out, Fig7cPoint{Nodes: n, Ratio: stats.Mean(ratios)})
-	}
-	return out, nil
+		return Fig7cPoint{Nodes: n, Ratio: stats.Mean(ratios)}, nil
+	})
 }
 
 // RenderFig7c formats the lifetime ratios.

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel sweep runner: every figure and ablation is a
+// grid of independent cells (a cluster size, a rate, a seed block, ...),
+// and the nested loops that used to walk the grid sequentially now fan
+// the cells out over a bounded worker pool. Cells are independent by
+// construction — each builds its own deployment — and the read-only
+// radio.Medium fast path plus the concurrency-safe TestedOracle make
+// sharing a deployment across workers safe where a sweep wants it.
+
+// Workers is the package-wide default worker-pool size for sweeps whose
+// entry point has no per-call Workers knob (the ablations). Zero means
+// runtime.NumCPU(). Set it once (e.g. from a -workers flag) before
+// launching sweeps; it is not synchronized.
+var Workers int
+
+// sweepWorkers resolves a per-config worker count against the package
+// default: cfg > 0 wins, then Workers, then NumCPU. A value of 1 runs
+// the sweep inline with no goroutines.
+func sweepWorkers(cfg int) int {
+	if cfg > 0 {
+		return cfg
+	}
+	if Workers > 0 {
+		return Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Sweep runs fn(0..n-1) on a bounded worker pool and returns the results
+// in index order, so parallel sweeps render byte-identical tables to the
+// sequential loops they replace. workers <= 0 means runtime.NumCPU().
+//
+// On failure the first error by cell index is returned (lower-indexed
+// cells win, matching the error a sequential loop would surface);
+// remaining unstarted cells are abandoned.
+func Sweep[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

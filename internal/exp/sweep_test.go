@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSweepOrderedResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		out, err := Sweep(20, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 20 {
+			t.Fatalf("workers=%d: len = %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	out, err := Sweep(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty sweep: out=%v err=%v", out, err)
+	}
+}
+
+func TestSweepFirstErrorWins(t *testing.T) {
+	// Sequential: the lowest failing index is surfaced, and no later
+	// cell runs after it.
+	var ran atomic.Int32
+	_, err := Sweep(10, 1, func(i int) (int, error) {
+		ran.Add(1)
+		if i >= 3 {
+			return 0, fmt.Errorf("cell %d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "cell 3" {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("sequential sweep ran %d cells after failure", ran.Load())
+	}
+	// Parallel: some error is surfaced and it is the lowest-indexed one
+	// that was recorded.
+	sentinel := errors.New("boom")
+	_, err = Sweep(50, 8, func(i int) (int, error) {
+		if i%7 == 3 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("parallel err = %v", err)
+	}
+}
+
+func TestSweepStopsClaimingAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	_, err := Sweep(1000, 4, func(i int) (int, error) {
+		ran.Add(1)
+		return 0, errors.New("immediate")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// Each worker can run at most one cell after the first failure is
+	// flagged; with 4 workers that is far fewer than 1000.
+	if ran.Load() > 100 {
+		t.Fatalf("%d cells ran after an immediate failure", ran.Load())
+	}
+}
+
+func TestSweepWorkersExceedCells(t *testing.T) {
+	out, err := Sweep(3, 16, func(i int) (string, error) { return fmt.Sprint(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] != "0" || out[2] != "2" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+// TestFigSweepsDeterministicAcrossWorkerCounts pins the tentpole claim:
+// parallel sweeps render byte-identical tables to the sequential loops
+// they replaced, regardless of pool size.
+func TestFigSweepsDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := QuickFig7a()
+	cfg.Workers = 1
+	seq, err := Fig7a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := Fig7a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderFig7a(seq) != RenderFig7a(par) {
+		t.Fatalf("Fig7a differs across worker counts:\n%s\nvs\n%s",
+			RenderFig7a(seq), RenderFig7a(par))
+	}
+
+	ccfg := QuickFig7c()
+	ccfg.Workers = 1
+	cseq, err := Fig7c(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg.Workers = 3
+	cpar, err := Fig7c(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RenderFig7c(cseq) != RenderFig7c(cpar) {
+		t.Fatal("Fig7c differs across worker counts")
+	}
+}

@@ -9,28 +9,40 @@ import (
 // Medium is the shared wireless channel: node positions, per-node transmit
 // powers, a propagation model, and SINR-based reception with accumulated
 // interference.
+//
+// Positions and the propagation model are fixed per deployment, so the
+// Medium precomputes the full N x N received-power matrix at construction
+// and keeps it current through SetTxPower. Every query on the hot path
+// (ReceivedPower, Receives, GroupCompatible — the calls the polling
+// scheduler issues thousands of times per cycle) is then a table lookup
+// plus an interference sum instead of repeated propagation math. Once the
+// powers are set, all query methods are safe for concurrent use by
+// multiple goroutines; SetTxPower/Refresh must not race with queries.
 type Medium struct {
 	prop         Propagation
 	pos          []geom.Point
 	txPower      []float64
-	RxThreshold  float64 // minimum received power for decoding, watts
-	CaptureRatio float64 // linear SINR required to capture
-	NoiseFloor   float64 // ambient noise, watts
-	CSThreshold  float64 // carrier-sense threshold, watts (for CSMA MACs)
+	pw           []float64 // cached received power, pw[tx*N+rx]; diagonal is 0
+	RxThreshold  float64   // minimum received power for decoding, watts
+	CaptureRatio float64   // linear SINR required to capture
+	NoiseFloor   float64   // ambient noise, watts
+	CSThreshold  float64   // carrier-sense threshold, watts (for CSMA MACs)
 }
 
 // NewMedium returns a Medium over the given node positions. All nodes
 // start with zero transmit power; set them with SetTxPower.
 func NewMedium(prop Propagation, pos []geom.Point) *Medium {
-	return &Medium{
+	m := &Medium{
 		prop:         prop,
 		pos:          append([]geom.Point(nil), pos...),
 		txPower:      make([]float64, len(pos)),
+		pw:           make([]float64, len(pos)*len(pos)),
 		RxThreshold:  DefaultRxThreshold,
 		CaptureRatio: DefaultCaptureRatio,
 		NoiseFloor:   DefaultNoiseFloor,
 		CSThreshold:  DefaultRxThreshold / 20,
 	}
+	return m // all powers are zero, so the zeroed matrix is already correct
 }
 
 // N returns the number of nodes on the medium.
@@ -39,22 +51,46 @@ func (m *Medium) N() int { return len(m.pos) }
 // Pos returns the position of node i.
 func (m *Medium) Pos(i int) geom.Point { return m.pos[m.checkNode(i)] }
 
-// SetTxPower sets node i's transmit power in watts.
+// SetTxPower sets node i's transmit power in watts and refreshes the
+// cached received-power row for node i.
 func (m *Medium) SetTxPower(i int, watts float64) {
 	if watts < 0 {
 		panic("radio: negative tx power")
 	}
 	m.txPower[m.checkNode(i)] = watts
+	m.refreshRow(i)
 }
 
 // TxPower returns node i's transmit power in watts.
 func (m *Medium) TxPower(i int) float64 { return m.txPower[m.checkNode(i)] }
 
+// Refresh rebuilds the whole received-power cache from the propagation
+// model. It is only needed when the model itself is mutated after the
+// Medium is built (e.g. installing a ShadowDB on a shared LogDistance);
+// SetTxPower keeps the cache current on its own.
+func (m *Medium) Refresh() {
+	for i := range m.pos {
+		m.refreshRow(i)
+	}
+}
+
+func (m *Medium) refreshRow(tx int) {
+	row := m.pw[tx*len(m.pos):]
+	for rx := range m.pos {
+		row[rx] = m.uncachedReceivedPower(tx, rx)
+	}
+}
+
 func (m *Medium) checkNode(i int) int {
-	if i < 0 || i >= len(m.pos) {
-		panic(fmt.Sprintf("radio: node %d out of range [0,%d)", i, len(m.pos)))
+	if uint(i) >= uint(len(m.pos)) {
+		panicNode(i, len(m.pos))
 	}
 	return i
+}
+
+//go:noinline
+func panicNode(i, n int) {
+	panic(fmt.Sprintf("radio: node %d out of range [0,%d)", i, n))
 }
 
 // linkProp returns the propagation model bound to the ordered link
@@ -66,16 +102,25 @@ func (m *Medium) linkProp(from, to int) Propagation {
 	return m.prop
 }
 
-// ReceivedPower returns the power node rx hears from node tx transmitting
-// at its configured power, in watts.
-func (m *Medium) ReceivedPower(tx, rx int) float64 {
-	m.checkNode(tx)
-	m.checkNode(rx)
+// uncachedReceivedPower is the slow-path reference implementation: it
+// re-derives the link's received power from positions and the propagation
+// model on every call. refreshRow populates the cache from it, and the
+// property tests compare the cached fast path against it to guard the
+// cache against staleness.
+func (m *Medium) uncachedReceivedPower(tx, rx int) float64 {
 	if tx == rx {
 		return 0
 	}
 	d := m.pos[tx].Dist(m.pos[rx])
 	return m.linkProp(tx, rx).ReceivedPower(m.txPower[tx], d)
+}
+
+// ReceivedPower returns the power node rx hears from node tx transmitting
+// at its configured power, in watts.
+func (m *Medium) ReceivedPower(tx, rx int) float64 {
+	m.checkNode(tx)
+	m.checkNode(rx)
+	return m.pw[tx*len(m.pos)+rx]
 }
 
 // InRange reports whether rx can decode tx's signal in a quiet channel
@@ -120,22 +165,25 @@ func (m *Medium) Receives(txs []Transmission, i int) bool {
 	if t.From == t.To {
 		return false
 	}
-	signal := m.ReceivedPower(t.From, t.To)
+	n := len(m.pos)
+	signal := m.pw[t.From*n+t.To]
 	if signal < m.RxThreshold {
 		return false
 	}
+	col := t.To
 	interference := m.NoiseFloor
-	for j, o := range txs {
+	for j := range txs {
 		if j == i {
 			continue
 		}
-		if o.From == t.To {
+		o := txs[j]
+		if o.From == col {
 			return false // half duplex: receiver is transmitting
 		}
-		if o.To == t.To {
+		if o.To == col {
 			return false // two packets addressed to the same receiver
 		}
-		interference += m.ReceivedPower(o.From, t.To)
+		interference += m.pw[m.checkNode(o.From)*n+col]
 	}
 	return signal >= m.CaptureRatio*interference
 }
@@ -144,16 +192,46 @@ func (m *Medium) Receives(txs []Transmission, i int) bool {
 // all are concurrent. This is the ground truth the cluster head's testing
 // protocol observes. Duplicate senders in the group are incompatible (a
 // node cannot send two packets at once).
+//
+// The body repeats the Receives SINR rule inline rather than calling it
+// per transmission: nodes are validated once up front, so the inner loops
+// are pure power-matrix arithmetic. The property tests in cache_test.go
+// hold the two paths to the exact same answers.
 func (m *Medium) GroupCompatible(txs []Transmission) bool {
+	n := len(m.pos)
 	for i := range txs {
+		t := txs[i]
+		m.checkNode(t.From)
+		m.checkNode(t.To)
+		if t.From == t.To {
+			return false
+		}
 		for j := i + 1; j < len(txs); j++ {
-			if txs[i].From == txs[j].From {
+			if t.From == txs[j].From {
 				return false
 			}
 		}
 	}
+	threshold, capture, noise := m.RxThreshold, m.CaptureRatio, m.NoiseFloor
 	for i := range txs {
-		if !m.Receives(txs, i) {
+		t := txs[i]
+		signal := m.pw[t.From*n+t.To]
+		if signal < threshold {
+			return false
+		}
+		col := t.To
+		interference := noise
+		for j := range txs {
+			if j == i {
+				continue
+			}
+			o := txs[j]
+			if o.From == col || o.To == col {
+				return false // half duplex / two packets at one receiver
+			}
+			interference += m.pw[o.From*n+col]
+		}
+		if signal < capture*interference {
 			return false
 		}
 	}

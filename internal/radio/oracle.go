@@ -2,8 +2,10 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // CompatibilityOracle answers whether a group of transmissions may share a
@@ -60,16 +62,65 @@ func (o ProtocolOracle) Compatible(txs []Transmission) bool {
 // MaxGroup implements CompatibilityOracle.
 func (o ProtocolOracle) MaxGroup() int { return 0 }
 
+// packedGroupMax is the largest group the allocation-free cache key can
+// hold. The paper's M is "a small positive integer, such as 2 or 3", so
+// groups beyond this size fall back to a string-keyed cache.
+const packedGroupMax = 4
+
+// packedKey is an order-insensitive canonical key for a transmission
+// group: each transmission packed into a uint64 (From in the high word,
+// To in the low word), insertion-sorted, unused slots at the sentinel.
+// Being a plain comparable array it is hashed by the map without any
+// allocation.
+type packedKey [packedGroupMax]uint64
+
+const packedUnused = math.MaxUint64
+
+// packGroup canonicalizes txs into a packedKey. ok is false when the
+// group does not fit the packed representation (too large, or node ids
+// outside [0, 2^31)) and the caller must use the string key instead.
+func packGroup(txs []Transmission) (key packedKey, ok bool) {
+	if len(txs) > packedGroupMax {
+		return key, false
+	}
+	for i := range key {
+		key[i] = packedUnused
+	}
+	for i, t := range txs {
+		if uint(t.From) > math.MaxInt32 || uint(t.To) > math.MaxInt32 {
+			return key, false
+		}
+		v := uint64(t.From)<<32 | uint64(t.To)
+		j := i
+		for j > 0 && key[j-1] > v {
+			key[j] = key[j-1]
+			j--
+		}
+		key[j] = v
+	}
+	return key, true
+}
+
 // TestedOracle models the head's practical knowledge (Section V-E): it
 // learns compatibility by physically testing groups of at most M
 // transmissions and caches the results. Tests counts the distinct groups
 // tested, which the sector analysis uses ("if we divide a cluster with 80
 // sensors into 8 sectors ... far less groups need to be tested").
+//
+// A TestedOracle is safe for concurrent use, so one oracle (and its
+// learned cache) can be shared across parallel sweep workers. Tests stays
+// exact under concurrency: a group is only ever tested once, with
+// duplicate concurrent misses resolved under the write lock. Read Tests
+// via TestCount while other goroutines may be querying; the plain field
+// is safe to read once concurrent use has quiesced.
 type TestedOracle struct {
 	Truth CompatibilityOracle
 	M     int
-	cache map[string]bool
 	Tests int
+
+	mu   sync.RWMutex
+	fast map[packedKey]bool
+	slow map[string]bool // overflow groups that don't fit a packedKey
 }
 
 // NewTestedOracle wraps truth with an M-bounded testing cache. M must be
@@ -78,30 +129,69 @@ func NewTestedOracle(truth CompatibilityOracle, m int) *TestedOracle {
 	if m < 1 {
 		panic("radio: TestedOracle requires M >= 1")
 	}
-	return &TestedOracle{Truth: truth, M: m, cache: make(map[string]bool)}
+	return &TestedOracle{Truth: truth, M: m, fast: make(map[packedKey]bool)}
 }
 
 // Compatible implements CompatibilityOracle. Groups larger than M are
 // conservatively reported incompatible — the head has no knowledge of
-// them, and the scheduler is expected never to ask.
+// them, and the scheduler is expected never to ask. The cache-hit path is
+// allocation-free.
 func (o *TestedOracle) Compatible(txs []Transmission) bool {
 	if len(txs) > o.M {
 		return false
 	}
-	key := groupKey(txs)
-	if v, ok := o.cache[key]; ok {
+	if key, ok := packGroup(txs); ok {
+		o.mu.RLock()
+		v, hit := o.fast[key]
+		o.mu.RUnlock()
+		if hit {
+			return v
+		}
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if v, hit := o.fast[key]; hit {
+			return v
+		}
+		v = o.Truth.Compatible(txs)
+		o.fast[key] = v
+		o.Tests++
 		return v
 	}
-	v := o.Truth.Compatible(txs)
-	o.cache[key] = v
+	key := groupKey(txs)
+	o.mu.RLock()
+	v, hit := o.slow[key]
+	o.mu.RUnlock()
+	if hit {
+		return v
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if v, hit := o.slow[key]; hit {
+		return v
+	}
+	if o.slow == nil {
+		o.slow = make(map[string]bool)
+	}
+	v = o.Truth.Compatible(txs)
+	o.slow[key] = v
 	o.Tests++
 	return v
+}
+
+// TestCount returns the number of distinct groups tested so far. Unlike
+// reading the Tests field directly, it is safe while other goroutines are
+// querying the oracle.
+func (o *TestedOracle) TestCount() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.Tests
 }
 
 // MaxGroup implements CompatibilityOracle.
 func (o *TestedOracle) MaxGroup() int { return o.M }
 
-// groupKey canonicalizes a transmission group (order-insensitive).
+// groupKey canonicalizes a transmission group (order-insensitive) as a
+// string. Only used for groups that overflow the packed fast-path key.
 func groupKey(txs []Transmission) string {
 	parts := make([]string, len(txs))
 	for i, t := range txs {
