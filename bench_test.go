@@ -34,7 +34,7 @@ func printFirst(b *testing.B, key, table string) {
 func BenchmarkFig7aActiveTime(b *testing.B) {
 	cfg := exp.QuickFig7a()
 	for i := 0; i < b.N; i++ {
-		points, err := exp.Fig7a(cfg)
+		points, err := exp.Fig7a(exp.Options{}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +47,7 @@ func BenchmarkFig7aActiveTime(b *testing.B) {
 func BenchmarkFig7bThroughput(b *testing.B) {
 	cfg := exp.QuickFig7b()
 	for i := 0; i < b.N; i++ {
-		points, err := exp.Fig7b(cfg)
+		points, err := exp.Fig7b(exp.Options{}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +60,7 @@ func BenchmarkFig7bThroughput(b *testing.B) {
 func BenchmarkFig7cLifetime(b *testing.B) {
 	cfg := exp.QuickFig7c()
 	for i := 0; i < b.N; i++ {
-		points, err := exp.Fig7c(cfg)
+		points, err := exp.Fig7c(exp.Options{}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -242,7 +242,7 @@ func BenchmarkLongitudinal(b *testing.B) {
 // comparison on a 16-sensor cluster.
 func BenchmarkAckCoverExact(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.AblationAckCover([]int{16}, []int64{1}); err != nil {
+		if _, err := exp.AblationAckCover(exp.Options{}, []int{16}, []int64{1}); err != nil {
 			b.Fatal(err)
 		}
 	}

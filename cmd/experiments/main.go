@@ -13,11 +13,34 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
+
+// writeMetrics renders the registry to path: Prometheus text exposition
+// for .prom/.txt files, JSON otherwise.
+func writeMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".prom", ".txt":
+		err = reg.WritePrometheus(f)
+	default:
+		err = reg.WriteJSON(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -29,13 +52,20 @@ func main() {
 		quick    = flag.Bool("quick", false, "use cut-down sweeps")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
 		workers  = flag.Int("workers", 0, "sweep worker-pool size; 0 = all CPUs, 1 = sequential")
+		metrics  = flag.String("metrics", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, else JSON)")
 	)
 	flag.Parse()
 	if *fig == "" && *ablation == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	exp.Workers = *workers
+	opts := exp.Options{Workers: *workers}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		cluster.RegisterMetrics(reg)
+		opts.Obs = reg.Observer()
+	}
 
 	var csvRows [][]string
 	var csvHeaders []string
@@ -47,7 +77,7 @@ func main() {
 			if *quick {
 				cfg = exp.QuickFig7a()
 			}
-			points, err := exp.Fig7a(cfg)
+			points, err := exp.Fig7a(opts, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -66,7 +96,7 @@ func main() {
 			if *quick {
 				cfg = exp.QuickFig7b()
 			}
-			points, err := exp.Fig7b(cfg)
+			points, err := exp.Fig7b(opts, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -84,7 +114,7 @@ func main() {
 			if *quick {
 				cfg = exp.QuickFig7c()
 			}
-			points, err := exp.Fig7c(cfg)
+			points, err := exp.Fig7c(opts, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -101,7 +131,7 @@ func main() {
 				cfg.Nodes = []int{15}
 				cfg.Seeds = []int64{1}
 			}
-			rows, err := exp.Decay(cfg)
+			rows, err := exp.Decay(opts, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -116,7 +146,7 @@ func main() {
 			}
 			p := exp.DefaultFig7a().Params
 			p.LossProb = 0
-			rows, err := exp.Capacity(nodes, seeds, p)
+			rows, err := exp.Capacity(opts, nodes, seeds, p)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -137,21 +167,21 @@ func main() {
 	runAblation := func(name string) {
 		switch name {
 		case "delta":
-			rows, err := exp.AblationDeltaSearch([]int{15, 30, 45, 60}, 1)
+			rows, err := exp.AblationDeltaSearch(opts, []int{15, 30, 45, 60}, 1)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Println("Ablation: routing delta search (linear, per the paper, vs. binary)")
 			fmt.Println(exp.RenderDeltaSearch(rows))
 		case "m":
-			rows, err := exp.AblationM(25, []int{1, 2, 3, 4}, 1, 3)
+			rows, err := exp.AblationM(opts, 25, []int{1, 2, 3, 4}, 1, 3)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Println("Ablation: compatibility degree M")
 			fmt.Println(exp.RenderM(rows))
 		case "delay":
-			rows, err := exp.AblationDelay([]int{15, 30}, 1, 3)
+			rows, err := exp.AblationDelay(opts, []int{15, 30}, 1, 3)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -165,7 +195,7 @@ func main() {
 			fmt.Println("Ablation: inter-cluster interference removal (Section V-G)")
 			fmt.Println(exp.RenderInterCluster(rows))
 		case "interference":
-			res, err := exp.AblationInterferenceModel(50, 20, 1)
+			res, err := exp.AblationInterferenceModel(opts, 50, 20, 1)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -179,7 +209,7 @@ func main() {
 				}},
 			))
 		case "ack":
-			rows, err := exp.AblationAckCover([]int{8, 12, 16, 20}, []int64{1, 2, 3})
+			rows, err := exp.AblationAckCover(opts, []int{8, 12, 16, 20}, []int64{1, 2, 3})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -207,14 +237,14 @@ func main() {
 			fmt.Println("Ablation: on-line greedy vs. exact optimum (small random instances)")
 			fmt.Println(exp.RenderGreedyGap(res))
 		case "order":
-			rows, err := exp.AblationOrder(30, 1, 3)
+			rows, err := exp.AblationOrder(opts, 30, 1, 3)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Println("Ablation: greedy scan-order heuristics")
 			fmt.Println(exp.RenderOrder(rows))
 		case "energy":
-			rows, err := exp.AblationEnergyModes(30, 1, 3, 100)
+			rows, err := exp.AblationEnergyModes(opts, 30, 1, 3, 100)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -254,5 +284,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d rows)\n", *csvPath, len(csvRows))
+	}
+
+	if reg != nil {
+		if err := writeMetrics(reg, *metrics); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metrics)
 	}
 }

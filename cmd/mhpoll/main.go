@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/energy"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -37,6 +39,7 @@ func main() {
 		binary    = flag.Bool("binary-delta", false, "use binary search for the routing delta")
 		battery   = flag.Float64("battery", 100, "sensor battery capacity in joules")
 		tracePath = flag.String("trace", "", "write a slot-level CSV trace of the data phases to this file")
+		metrics   = flag.String("metrics", "", "write a metrics snapshot to this file (.prom/.txt = Prometheus text, else JSON)")
 	)
 	flag.Parse()
 
@@ -59,8 +62,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *tracePath != "" {
+	if *tracePath != "" || *metrics != "" {
 		r.Trace = &trace.Log{}
+	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		cluster.RegisterMetrics(reg)
+		trace.RegisterMetrics(reg)
+		r.Obs = reg.Observer()
 	}
 
 	fmt.Printf("cluster: %d sensors in %.0fx%.0f m, max hop count %d, routing delta %d\n",
@@ -101,5 +111,27 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %d trace events to %s\n", r.Trace.Len(), *tracePath)
+	}
+
+	if reg != nil {
+		// Bridge the slot-level trace into the same registry so the
+		// snapshot carries event counts and delivery latencies alongside
+		// the cycle series.
+		r.Trace.Summarize(reg.Observer())
+		f, err := os.Create(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		switch filepath.Ext(*metrics) {
+		case ".prom", ".txt":
+			err = reg.WritePrometheus(f)
+		default:
+			err = reg.WriteJSON(f)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metrics)
 	}
 }

@@ -8,12 +8,14 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/routing"
 	"repro/internal/sector"
@@ -89,18 +91,40 @@ func DefaultParams() Params {
 	}
 }
 
-func (p Params) validate() error {
+// Sentinel validation errors. Validate wraps them with the offending
+// values, so callers branch with errors.Is while messages stay specific.
+var (
+	// ErrBadM flags a compatibility degree below 1.
+	ErrBadM = errors.New("compatibility degree M must be >= 1")
+	// ErrBadRadio flags non-positive bandwidth or packet sizes.
+	ErrBadRadio = errors.New("non-positive radio parameters")
+	// ErrBadCycle flags a non-positive cycle period.
+	ErrBadCycle = errors.New("non-positive cycle")
+	// ErrBadRate flags a negative data generation rate.
+	ErrBadRate = errors.New("negative data rate")
+	// ErrBadLoss flags a loss probability outside [0, 1).
+	ErrBadLoss = errors.New("loss probability outside [0, 1)")
+)
+
+// Validate checks the parameters, returning the first violation wrapped
+// around its sentinel (ErrBadM, ErrBadRadio, ...). NewRunner,
+// RunLongitudinal and ReplaySchedule surface these errors unchanged.
+func (p Params) Validate() error {
 	if p.M < 1 {
-		return fmt.Errorf("cluster: M must be >= 1")
+		return fmt.Errorf("cluster: M = %d: %w", p.M, ErrBadM)
 	}
 	if p.BandwidthBps <= 0 || p.DataBytes <= 0 || p.PollBytes <= 0 || p.AckBytes <= 0 {
-		return fmt.Errorf("cluster: non-positive radio parameters")
+		return fmt.Errorf("cluster: bandwidth %g Bps, data %d B, poll %d B, ack %d B: %w",
+			p.BandwidthBps, p.DataBytes, p.PollBytes, p.AckBytes, ErrBadRadio)
 	}
 	if p.Cycle <= 0 {
-		return fmt.Errorf("cluster: non-positive cycle")
+		return fmt.Errorf("cluster: cycle %v: %w", p.Cycle, ErrBadCycle)
 	}
-	if p.RateBps < 0 || p.LossProb < 0 || p.LossProb >= 1 {
-		return fmt.Errorf("cluster: bad rate or loss probability")
+	if p.RateBps < 0 {
+		return fmt.Errorf("cluster: rate %g Bps: %w", p.RateBps, ErrBadRate)
+	}
+	if p.LossProb < 0 || p.LossProb >= 1 {
+		return fmt.Errorf("cluster: loss probability %g: %w", p.LossProb, ErrBadLoss)
 	}
 	return nil
 }
@@ -137,14 +161,19 @@ type Runner struct {
 	Unreachable []int
 	// Trace, when non-nil, records every data-phase transmission, loss
 	// and arrival of subsequent cycles for offline analysis.
-	Trace    *trace.Log
+	Trace *trace.Log
+	// Obs, when non-nil, receives per-cycle metrics after every RunCycle:
+	// phase durations, slot counts, re-polls, losses, packets and energy
+	// drawn per radio state (series named by the Metric* constants). A nil
+	// Obs costs one branch per cycle.
+	Obs      obs.Observer
 	cycleIdx int
 }
 
 // NewRunner plans routing (and sectors when enabled) for the cluster and
 // returns a ready runtime.
 func NewRunner(c *topo.Cluster, p Params) (*Runner, error) {
-	if err := p.validate(); err != nil {
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	n := c.Sensors()
@@ -223,6 +252,11 @@ type CycleResult struct {
 	AckSlots, DataSlots int
 	// Duty is the total awake span of the cluster (sum of group windows).
 	Duty time.Duration
+	// PhaseWake, PhaseAck, PhaseData and PhaseSleep decompose Duty into
+	// the duty cycle's four phases, summed over groups: the wake-up
+	// broadcast, acknowledgment collection, the pipelined data polling,
+	// and the sleep broadcast.
+	PhaseWake, PhaseAck, PhaseData, PhaseSleep time.Duration
 	// Fits reports whether the duty fit into the cycle; when false the
 	// cluster is over capacity and Delivered is scaled down.
 	Fits bool
@@ -317,6 +351,9 @@ func (r *Runner) RunCycle() (*CycleResult, error) {
 		res.ActiveFraction = sum / float64(n)
 	}
 	res.OracleTests = r.Oracle.Tests
+	if r.Obs != nil {
+		r.emit(res)
+	}
 	return res, nil
 }
 
@@ -398,6 +435,10 @@ func (r *Runner) runGroup(group []int, routes map[int][]int, packets []int,
 	// Window: wake broadcast + ack slots + data slots + sleep broadcast.
 	window := pollT + time.Duration(ackSlots)*ackSlotDur +
 		time.Duration(dataSlots)*dataSlotDur + pollT
+	res.PhaseWake += pollT
+	res.PhaseAck += time.Duration(ackSlots) * ackSlotDur
+	res.PhaseData += time.Duration(dataSlots) * dataSlotDur
+	res.PhaseSleep += pollT
 
 	// Per-sensor accounting. By default every group sensor is awake for
 	// the whole window, receiving every head broadcast (wake, per-slot

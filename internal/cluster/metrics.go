@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"repro/internal/energy"
+	"repro/internal/obs"
+)
+
+// Metric families the runner emits when Runner.Obs is set. Phase and
+// energy families carry labels; the concrete series are built with
+// obs.Series.
+const (
+	// MetricCycles counts completed duty cycles.
+	MetricCycles = "cluster_cycles_total"
+	// MetricPhaseSeconds is a histogram of per-cycle phase durations,
+	// labeled phase="wake"|"ack"|"poll"|"sleep" (the Section II duty
+	// cycle: wake-up broadcast, ack collection, data polling, sleep
+	// broadcast).
+	MetricPhaseSeconds = "cluster_phase_seconds"
+	// MetricSlotsPerCycle is a histogram of slots used per cycle, labeled
+	// kind="ack"|"data".
+	MetricSlotsPerCycle = "cluster_slots_per_cycle"
+	// MetricSlotsTotal counts slots used, labeled kind="ack"|"data".
+	MetricSlotsTotal = "cluster_slots_total"
+	// MetricRepolls counts loss-induced re-polls.
+	MetricRepolls = "cluster_repolls_total"
+	// MetricLosses counts lost transmissions. Under the greedy scheduler
+	// every detected loss triggers exactly one re-poll, so this equals
+	// MetricRepolls; it is kept distinct so the invariant is visible.
+	MetricLosses = "cluster_losses_total"
+	// MetricPacketsOffered / MetricPacketsDelivered count data packets.
+	MetricPacketsOffered   = "cluster_packets_offered_total"
+	MetricPacketsDelivered = "cluster_packets_delivered_total"
+	// MetricActiveFraction is a gauge of the latest cycle's mean
+	// per-sensor awake fraction — the live Fig. 7(a) metric.
+	MetricActiveFraction = "cluster_active_fraction"
+	// MetricEnergyJoules counts energy drawn across all sensors, labeled
+	// state="tx"|"rx"|"idle"|"sleep".
+	MetricEnergyJoules = "cluster_energy_joules_total"
+)
+
+var (
+	seriesPhaseWake  = obs.Series(MetricPhaseSeconds, "phase", "wake")
+	seriesPhaseAck   = obs.Series(MetricPhaseSeconds, "phase", "ack")
+	seriesPhasePoll  = obs.Series(MetricPhaseSeconds, "phase", "poll")
+	seriesPhaseSleep = obs.Series(MetricPhaseSeconds, "phase", "sleep")
+
+	seriesSlotsAck       = obs.Series(MetricSlotsPerCycle, "kind", "ack")
+	seriesSlotsData      = obs.Series(MetricSlotsPerCycle, "kind", "data")
+	seriesSlotsAckTotal  = obs.Series(MetricSlotsTotal, "kind", "ack")
+	seriesSlotsDataTotal = obs.Series(MetricSlotsTotal, "kind", "data")
+
+	seriesEnergyTx    = obs.Series(MetricEnergyJoules, "state", "tx")
+	seriesEnergyRx    = obs.Series(MetricEnergyJoules, "state", "rx")
+	seriesEnergyIdle  = obs.Series(MetricEnergyJoules, "state", "idle")
+	seriesEnergySleep = obs.Series(MetricEnergyJoules, "state", "sleep")
+)
+
+// slotBuckets sizes the slots-per-cycle histograms (slot counts, not
+// seconds).
+var slotBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+// RegisterMetrics pre-registers the runner's series in reg with help text
+// and slot-count buckets. Emission works without it — series auto-create
+// with default buckets on first use — but registering makes the exposition
+// self-describing and gives the slot histograms sensible bounds.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Counter(MetricCycles, "completed duty cycles")
+	for _, s := range []string{seriesPhaseWake, seriesPhaseAck, seriesPhasePoll, seriesPhaseSleep} {
+		reg.Histogram(s, "per-cycle duty phase durations in seconds", nil)
+	}
+	for _, s := range []string{seriesSlotsAck, seriesSlotsData} {
+		reg.Histogram(s, "slots used per cycle", slotBuckets)
+	}
+	for _, s := range []string{seriesSlotsAckTotal, seriesSlotsDataTotal} {
+		reg.Counter(s, "slots used")
+	}
+	reg.Counter(MetricRepolls, "loss-induced re-polls")
+	reg.Counter(MetricLosses, "lost transmissions")
+	reg.Counter(MetricPacketsOffered, "data packets offered")
+	reg.Counter(MetricPacketsDelivered, "data packets delivered to the head")
+	reg.Gauge(MetricActiveFraction, "latest cycle's mean per-sensor awake fraction")
+	for _, s := range []string{seriesEnergyTx, seriesEnergyRx, seriesEnergyIdle, seriesEnergySleep} {
+		reg.Counter(s, "energy drawn across all sensors in joules")
+	}
+}
+
+// emit publishes one cycle's result to the runner's observer. Called only
+// when Obs is non-nil, once per cycle — off the slot-level hot path.
+func (r *Runner) emit(res *CycleResult) {
+	o := r.Obs
+	o.Add(MetricCycles, 1)
+	o.Observe(seriesPhaseWake, res.PhaseWake.Seconds())
+	o.Observe(seriesPhaseAck, res.PhaseAck.Seconds())
+	o.Observe(seriesPhasePoll, res.PhaseData.Seconds())
+	o.Observe(seriesPhaseSleep, res.PhaseSleep.Seconds())
+	o.Observe(seriesSlotsAck, float64(res.AckSlots))
+	o.Observe(seriesSlotsData, float64(res.DataSlots))
+	o.Add(seriesSlotsAckTotal, float64(res.AckSlots))
+	o.Add(seriesSlotsDataTotal, float64(res.DataSlots))
+	o.Add(MetricRepolls, float64(res.Retries))
+	o.Add(MetricLosses, float64(res.Retries))
+	o.Add(MetricPacketsOffered, float64(res.Offered))
+	o.Add(MetricPacketsDelivered, float64(res.Delivered))
+	o.Set(MetricActiveFraction, res.ActiveFraction)
+
+	m := r.P.Energy
+	var tx, rx, idle, sleep float64
+	for v := 1; v < len(res.Profiles); v++ {
+		p := res.Profiles[v]
+		tx += m.Energy(energy.Tx, p.InTx)
+		rx += m.Energy(energy.Rx, p.InRx)
+		idle += m.Energy(energy.Idle, p.InIdle)
+		sleep += m.Energy(energy.Sleep, p.SleepTime())
+	}
+	o.Add(seriesEnergyTx, tx)
+	o.Add(seriesEnergyRx, rx)
+	o.Add(seriesEnergyIdle, idle)
+	o.Add(seriesEnergySleep, sleep)
+}

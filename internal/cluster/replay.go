@@ -21,7 +21,7 @@ import (
 // It returns the replay's wall duration and an error describing the first
 // physical violation, if any.
 func ReplaySchedule(c *topo.Cluster, sched *core.Schedule, p Params) (time.Duration, error) {
-	if err := p.validate(); err != nil {
+	if err := p.Validate(); err != nil {
 		return 0, err
 	}
 	eng := &sim.Engine{}

@@ -25,8 +25,8 @@ type DeltaSearchRow struct {
 
 // AblationDeltaSearch runs the routing search comparison, one cluster
 // size per parallel sweep cell.
-func AblationDeltaSearch(nodes []int, seed int64) ([]DeltaSearchRow, error) {
-	return Sweep(len(nodes), sweepWorkers(0), func(i int) (DeltaSearchRow, error) {
+func AblationDeltaSearch(o Options, nodes []int, seed int64) ([]DeltaSearchRow, error) {
+	return Sweep(o, len(nodes), func(i int) (DeltaSearchRow, error) {
 		n := nodes[i]
 		c, err := topo.Build(topo.DefaultConfig(n, seed))
 		if err != nil {
@@ -66,8 +66,8 @@ type MRow struct {
 // AblationM sweeps the compatibility degree: larger M exposes more
 // parallelism (shorter schedules) at the cost of testing more groups.
 // Each M runs as its own parallel sweep cell.
-func AblationM(n int, ms []int, seed int64, cycles int) ([]MRow, error) {
-	return Sweep(len(ms), sweepWorkers(0), func(i int) (MRow, error) {
+func AblationM(o Options, n int, ms []int, seed int64, cycles int) ([]MRow, error) {
+	return Sweep(o, len(ms), func(i int) (MRow, error) {
 		m := ms[i]
 		c, err := topo.Build(topo.DefaultConfig(n, seed))
 		if err != nil {
@@ -82,6 +82,7 @@ func AblationM(n int, ms []int, seed int64, cycles int) ([]MRow, error) {
 		if err != nil {
 			return MRow{}, err
 		}
+		r.Obs = o.Obs
 		s, err := r.Run(cycles)
 		if err != nil {
 			return MRow{}, err
@@ -100,8 +101,8 @@ type DelayRow struct {
 // AblationDelay runs the comparison, one cluster size per parallel sweep
 // cell; the pipelined and delay-allowed runners inside a cell share one
 // deployment (the medium's query fast path is read-only).
-func AblationDelay(nodes []int, seed int64, cycles int) ([]DelayRow, error) {
-	return Sweep(len(nodes), sweepWorkers(0), func(i int) (DelayRow, error) {
+func AblationDelay(o Options, nodes []int, seed int64, cycles int) ([]DelayRow, error) {
+	return Sweep(o, len(nodes), func(i int) (DelayRow, error) {
 		n := nodes[i]
 		c, err := topo.Build(topo.DefaultConfig(n, seed))
 		if err != nil {
@@ -183,11 +184,11 @@ type InterferenceModelResult struct {
 // AblationInterferenceModel schedules random clusters under both oracles
 // and validates each schedule against the SINR ground truth. Trials are
 // independent parallel sweep cells; the tallies are reduced afterwards.
-func AblationInterferenceModel(n, trials int, seed int64) (*InterferenceModelResult, error) {
+func AblationInterferenceModel(o Options, n, trials int, seed int64) (*InterferenceModelResult, error) {
 	type tally struct {
 		pairwise, sinr bool
 	}
-	tallies, err := Sweep(trials, sweepWorkers(0), func(trial int) (tally, error) {
+	tallies, err := Sweep(o, trials, func(trial int) (tally, error) {
 		s := seed + int64(trial)
 		c, err := topo.Build(topo.DefaultConfig(n, s))
 		if err != nil {

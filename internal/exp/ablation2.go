@@ -96,7 +96,7 @@ type OrderRow struct {
 
 // AblationOrder compares scan-order heuristics for the greedy scheduler on
 // a real cluster workload.
-func AblationOrder(n int, seed int64, cycles int) ([]OrderRow, error) {
+func AblationOrder(o Options, n int, seed int64, cycles int) ([]OrderRow, error) {
 	c, err := topo.Build(topo.DefaultConfig(n, seed))
 	if err != nil {
 		return nil, err
@@ -121,7 +121,7 @@ func AblationOrder(n int, seed int64, cycles int) ([]OrderRow, error) {
 		{"longest-first", core.OrderLongestFirst},
 		{"shortest-first", core.OrderShortestFirst},
 	}
-	return Sweep(len(orders), sweepWorkers(0), func(i int) (OrderRow, error) {
+	return Sweep(o, len(orders), func(i int) (OrderRow, error) {
 		ord := orders[i]
 		total := 0
 		for cyc := 0; cyc < cycles; cyc++ {
@@ -156,7 +156,7 @@ type EnergyModeRow struct {
 // AblationEnergyModes decomposes where the energy savings come from:
 // baseline polling, idealized early sleep, sector partitioning, and both
 // combined.
-func AblationEnergyModes(n int, seed int64, cycles int, batteryJ float64) ([]EnergyModeRow, error) {
+func AblationEnergyModes(o Options, n int, seed int64, cycles int, batteryJ float64) ([]EnergyModeRow, error) {
 	c, err := topo.Build(topo.DefaultConfig(n, seed))
 	if err != nil {
 		return nil, err
@@ -177,13 +177,14 @@ func AblationEnergyModes(n int, seed int64, cycles int, batteryJ float64) ([]Ene
 	em := energy.DefaultModel()
 	// The four policies share one deployment; each cell gets its own
 	// runner, and the medium's query fast path is read-only.
-	return Sweep(len(modes), sweepWorkers(0), func(i int) (EnergyModeRow, error) {
+	return Sweep(o, len(modes), func(i int) (EnergyModeRow, error) {
 		p := base
 		modes[i].mut(&p)
 		r, err := cluster.NewRunner(c, p)
 		if err != nil {
 			return EnergyModeRow{}, err
 		}
+		r.Obs = o.Obs
 		s, err := r.Run(cycles)
 		if err != nil {
 			return EnergyModeRow{}, err

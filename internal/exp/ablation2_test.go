@@ -31,7 +31,7 @@ func TestAblationGreedyGap(t *testing.T) {
 }
 
 func TestAblationOrder(t *testing.T) {
-	rows, err := AblationOrder(20, 5, 2)
+	rows, err := AblationOrder(Options{}, 20, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestAblationOrder(t *testing.T) {
 }
 
 func TestAblationEnergyModes(t *testing.T) {
-	rows, err := AblationEnergyModes(25, 7, 2, 100)
+	rows, err := AblationEnergyModes(Options{}, 25, 7, 2, 100)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,8 +28,8 @@ type AckRow struct {
 // AblationAckCover compares the greedy ack cover to the exhaustive
 // optimum, one cluster size per parallel sweep cell. Cluster sizes must
 // stay small: the exact solver enumerates subsets of the candidate paths.
-func AblationAckCover(nodes []int, seeds []int64) ([]AckRow, error) {
-	return Sweep(len(nodes), sweepWorkers(0), func(i int) (AckRow, error) {
+func AblationAckCover(o Options, nodes []int, seeds []int64) ([]AckRow, error) {
+	return Sweep(o, len(nodes), func(i int) (AckRow, error) {
 		n := nodes[i]
 		if n > 20 {
 			return AckRow{}, fmt.Errorf("exp: exact ack cover limited to 20 sensors, got %d", n)

@@ -6,7 +6,7 @@ import (
 )
 
 func TestAblationAckCover(t *testing.T) {
-	rows, err := AblationAckCover([]int{10, 16}, []int64{1, 2})
+	rows, err := AblationAckCover(Options{}, []int{10, 16}, []int64{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestAblationAckCover(t *testing.T) {
 	if !strings.Contains(RenderAck(rows), "optimal cost") {
 		t.Error("render malformed")
 	}
-	if _, err := AblationAckCover([]int{50}, []int64{1}); err == nil {
+	if _, err := AblationAckCover(Options{}, []int{50}, []int64{1}); err == nil {
 		t.Error("oversize exact instance should error")
 	}
 }

@@ -24,8 +24,8 @@ type CapacityRow struct {
 
 // Capacity sweeps cluster sizes for the sustainable-rate frontier, one
 // size per parallel sweep cell.
-func Capacity(nodes []int, seeds []int64, p cluster.Params) ([]CapacityRow, error) {
-	return Sweep(len(nodes), sweepWorkers(0), func(i int) (CapacityRow, error) {
+func Capacity(o Options, nodes []int, seeds []int64, p cluster.Params) ([]CapacityRow, error) {
+	return Sweep(o, len(nodes), func(i int) (CapacityRow, error) {
 		n := nodes[i]
 		var rates []float64
 		for _, seed := range seeds {

@@ -10,7 +10,7 @@ import (
 func TestCapacityFrontier(t *testing.T) {
 	p := cluster.DefaultParams()
 	p.LossProb = 0
-	rows, err := Capacity([]int{10, 40}, []int64{1}, p)
+	rows, err := Capacity(Options{}, []int{10, 40}, []int64{1}, p)
 	if err != nil {
 		t.Fatal(err)
 	}

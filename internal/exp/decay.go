@@ -52,8 +52,8 @@ func DefaultDecay() DecayConfig {
 // Decay runs the sweep, one cluster size per parallel sweep cell (each
 // cell builds its own deployments, so the battery-death mutations stay
 // private to the cell).
-func Decay(cfg DecayConfig) ([]DecayRow, error) {
-	return Sweep(len(cfg.Nodes), sweepWorkers(0), func(i int) (DecayRow, error) {
+func Decay(o Options, cfg DecayConfig) ([]DecayRow, error) {
+	return Sweep(o, len(cfg.Nodes), func(i int) (DecayRow, error) {
 		n := cfg.Nodes[i]
 		row := DecayRow{Nodes: n}
 		var pf, sf, ph, sh []float64

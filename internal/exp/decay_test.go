@@ -10,7 +10,7 @@ func TestDecaySweep(t *testing.T) {
 	cfg.Nodes = []int{15}
 	cfg.Seeds = []int64{1}
 	cfg.BatteryJ = 0.1
-	rows, err := Decay(cfg)
+	rows, err := Decay(Options{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,16 +17,14 @@ import (
 
 // -------------------- Fig. 7(a): percentage of active time --------------------
 
-// Fig7aConfig sweeps cluster size and data generation rate.
+// Fig7aConfig sweeps cluster size and data generation rate. Pool size,
+// cancellation and metrics ride in the Options value passed to Fig7a.
 type Fig7aConfig struct {
 	Nodes  []int
 	Rates  []float64 // bytes/second per sensor
 	Seeds  []int64
 	Cycles int
 	Params cluster.Params
-	// Workers bounds the sweep's worker pool; 0 falls back to the
-	// package-level Workers default, then runtime.NumCPU().
-	Workers int
 }
 
 // DefaultFig7a mirrors the paper: 10-100 sensors, 20/40/60/80 B/s.
@@ -61,8 +59,8 @@ type Fig7aPoint struct {
 
 // Fig7a runs the active-time sweep. The (cluster size, rate) cells are
 // independent, so they run on the parallel sweep pool; the seed loop
-// stays inside each cell.
-func Fig7a(cfg Fig7aConfig) ([]Fig7aPoint, error) {
+// stays inside each cell. Every runner reports into o.Obs when set.
+func Fig7a(o Options, cfg Fig7aConfig) ([]Fig7aPoint, error) {
 	type cell struct {
 		n    int
 		rate float64
@@ -73,7 +71,7 @@ func Fig7a(cfg Fig7aConfig) ([]Fig7aPoint, error) {
 			cells = append(cells, cell{n, rate})
 		}
 	}
-	return Sweep(len(cells), sweepWorkers(cfg.Workers), func(i int) (Fig7aPoint, error) {
+	return Sweep(o, len(cells), func(i int) (Fig7aPoint, error) {
 		n, rate := cells[i].n, cells[i].rate
 		var actives []float64
 		fits := true
@@ -89,6 +87,7 @@ func Fig7a(cfg Fig7aConfig) ([]Fig7aPoint, error) {
 			if err != nil {
 				return Fig7aPoint{}, err
 			}
+			r.Obs = o.Obs
 			s, err := r.Run(cfg.Cycles)
 			if err != nil {
 				return Fig7aPoint{}, err
@@ -162,9 +161,6 @@ type Fig7bConfig struct {
 	Warmup  time.Duration
 	Cycles  int // polling cycles per seed
 	Params  cluster.Params
-	// Workers bounds the sweep's worker pool; 0 falls back to the
-	// package-level Workers default, then runtime.NumCPU().
-	Workers int
 }
 
 // DefaultFig7b mirrors the paper: 30 sensors, offered 100-1200 B/s,
@@ -208,8 +204,9 @@ type Fig7bPoint struct {
 // Fig7b runs the throughput comparison. Every (offered load, series)
 // curve sample — the polling run and each S-MAC duty cycle — is an
 // independent cell on the parallel sweep pool, in the same order the
-// sequential loops produced them.
-func Fig7b(cfg Fig7bConfig) ([]Fig7bPoint, error) {
+// sequential loops produced them. Polling runners and S-MAC networks
+// report into o.Obs when set.
+func Fig7b(o Options, cfg Fig7bConfig) ([]Fig7bPoint, error) {
 	type cell struct {
 		load float64
 		smac bool
@@ -222,7 +219,7 @@ func Fig7b(cfg Fig7bConfig) ([]Fig7bPoint, error) {
 			cells = append(cells, cell{load: load, smac: true, duty: duty})
 		}
 	}
-	return Sweep(len(cells), sweepWorkers(cfg.Workers), func(i int) (Fig7bPoint, error) {
+	return Sweep(o, len(cells), func(i int) (Fig7bPoint, error) {
 		load := cells[i].load
 		rate := load / float64(cfg.Nodes)
 		if !cells[i].smac {
@@ -240,6 +237,7 @@ func Fig7b(cfg Fig7bConfig) ([]Fig7bPoint, error) {
 				if err != nil {
 					return Fig7bPoint{}, err
 				}
+				r.Obs = o.Obs
 				s, err := r.Run(cfg.Cycles)
 				if err != nil {
 					return Fig7bPoint{}, err
@@ -259,6 +257,7 @@ func Fig7b(cfg Fig7bConfig) ([]Fig7bPoint, error) {
 			if err != nil {
 				return Fig7bPoint{}, err
 			}
+			nw.Obs = o.Obs
 			nw.StartCBR(rate)
 			m := nw.Run(cfg.SimTime, cfg.Warmup)
 			tps = append(tps, m.ThroughputBps(cfg.SimTime-cfg.Warmup, cfg.Params.DataBytes))
@@ -312,9 +311,6 @@ type Fig7cConfig struct {
 	Cycles   int
 	BatteryJ float64
 	Params   cluster.Params
-	// Workers bounds the sweep's worker pool; 0 falls back to the
-	// package-level Workers default, then runtime.NumCPU().
-	Workers int
 }
 
 // DefaultFig7c mirrors the paper: 10-50 sensors.
@@ -347,10 +343,10 @@ type Fig7cPoint struct {
 }
 
 // Fig7c runs the sector lifetime comparison, one cluster size per
-// parallel sweep cell.
-func Fig7c(cfg Fig7cConfig) ([]Fig7cPoint, error) {
+// parallel sweep cell. Both runners report into o.Obs when set.
+func Fig7c(o Options, cfg Fig7cConfig) ([]Fig7cPoint, error) {
 	em := energy.DefaultModel()
-	return Sweep(len(cfg.Nodes), sweepWorkers(cfg.Workers), func(i int) (Fig7cPoint, error) {
+	return Sweep(o, len(cfg.Nodes), func(i int) (Fig7cPoint, error) {
 		n := cfg.Nodes[i]
 		var ratios []float64
 		for _, seed := range cfg.Seeds {
@@ -364,12 +360,14 @@ func Fig7c(cfg Fig7cConfig) ([]Fig7cPoint, error) {
 			if err != nil {
 				return Fig7cPoint{}, err
 			}
+			plain.Obs = o.Obs
 			withSec := base
 			withSec.UseSectors = true
 			sectored, err := cluster.NewRunner(c, withSec)
 			if err != nil {
 				return Fig7cPoint{}, err
 			}
+			sectored.Obs = o.Obs
 			sp, err := plain.Run(cfg.Cycles)
 			if err != nil {
 				return Fig7cPoint{}, err

@@ -7,7 +7,7 @@ import (
 )
 
 func TestFig7aQuickShape(t *testing.T) {
-	points, err := Fig7a(QuickFig7a())
+	points, err := Fig7a(Options{}, QuickFig7a())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestFig7aQuickShape(t *testing.T) {
 }
 
 func TestFig7bQuickShape(t *testing.T) {
-	points, err := Fig7b(QuickFig7b())
+	points, err := Fig7b(Options{}, QuickFig7b())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestFig7bQuickShape(t *testing.T) {
 }
 
 func TestFig7cQuickShape(t *testing.T) {
-	points, err := Fig7c(QuickFig7c())
+	points, err := Fig7c(Options{}, QuickFig7c())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestFig7cQuickShape(t *testing.T) {
 }
 
 func TestAblationDeltaSearch(t *testing.T) {
-	rows, err := AblationDeltaSearch([]int{15, 30}, 3)
+	rows, err := AblationDeltaSearch(Options{}, []int{15, 30}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestAblationDeltaSearch(t *testing.T) {
 }
 
 func TestAblationM(t *testing.T) {
-	rows, err := AblationM(20, []int{1, 2, 3}, 5, 2)
+	rows, err := AblationM(Options{}, 20, []int{1, 2, 3}, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestAblationM(t *testing.T) {
 }
 
 func TestAblationDelay(t *testing.T) {
-	rows, err := AblationDelay([]int{15}, 7, 2)
+	rows, err := AblationDelay(Options{}, []int{15}, 7, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestAblationInterCluster(t *testing.T) {
 }
 
 func TestAblationInterferenceModel(t *testing.T) {
-	res, err := AblationInterferenceModel(25, 5, 13)
+	res, err := AblationInterferenceModel(Options{}, 25, 5, 13)
 	if err != nil {
 		t.Fatal(err)
 	}

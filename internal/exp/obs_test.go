@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mac/smac"
+	"repro/internal/obs"
+)
+
+// TestFig7aPopulatesRegistry is the acceptance check for the observability
+// tentpole: a figure sweep run with a registry-backed observer must leave
+// nonzero cycle, slot, per-cell and energy-by-state series behind.
+func TestFig7aPopulatesRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	cluster.RegisterMetrics(reg)
+	o := Options{Workers: 2, Obs: reg.Observer()}
+	if _, err := Fig7a(o, QuickFig7a()); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]obs.MetricSnapshot{}
+	for _, s := range reg.Snapshot() {
+		byName[s.Name] = s
+	}
+	for _, name := range []string{
+		cluster.MetricCycles,
+		obs.Series(cluster.MetricSlotsTotal, "kind", "data"),
+		obs.Series(cluster.MetricEnergyJoules, "state", "tx"),
+		obs.Series(cluster.MetricEnergyJoules, "state", "sleep"),
+		cluster.MetricPacketsDelivered,
+		MetricCellsTotal,
+	} {
+		if s, ok := byName[name]; !ok || s.Value <= 0 {
+			t.Errorf("series %q: %+v", name, s)
+		}
+	}
+	// QuickFig7a has 6 cells; the cell histogram must have seen them all.
+	if s := byName[MetricCellSeconds]; s.Count != 6 {
+		t.Errorf("cell histogram count = %d, want 6", s.Count)
+	}
+	if s := byName[MetricCellsTotal]; s.Value != 6 {
+		t.Errorf("cells total = %v, want 6", s.Value)
+	}
+}
+
+// TestFig7bPopulatesSmacSeries checks that the S-MAC cells of the
+// throughput sweep report through the same observer.
+func TestFig7bPopulatesSmacSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig7b cells in -short mode")
+	}
+	reg := obs.NewRegistry()
+	o := Options{Workers: 2, Obs: reg.Observer()}
+	cfg := QuickFig7b()
+	if _, err := Fig7b(o, cfg); err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		vals[s.Name] = s.Value
+	}
+	if vals[smac.MetricContention] <= 0 {
+		t.Errorf("%s = %v", smac.MetricContention, vals[smac.MetricContention])
+	}
+	if vals[cluster.MetricCycles] <= 0 {
+		t.Errorf("%s = %v", cluster.MetricCycles, vals[cluster.MetricCycles])
+	}
+}

@@ -1,9 +1,13 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the parallel sweep runner: every figure and ablation is a
@@ -14,18 +18,44 @@ import (
 // radio.Medium fast path plus the concurrency-safe TestedOracle make
 // sharing a deployment across workers safe where a sweep wants it.
 
-// Workers is the package-wide default worker-pool size for sweeps whose
-// entry point has no per-call Workers knob (the ablations). Zero means
-// runtime.NumCPU(). Set it once (e.g. from a -workers flag) before
-// launching sweeps; it is not synchronized.
+// Options configures a sweep and is threaded explicitly through every
+// figure and ablation entry point. The zero value is ready to use: all
+// CPUs, background context, no metrics.
+type Options struct {
+	// Workers bounds the worker pool; 0 means runtime.NumCPU() (after
+	// consulting the deprecated package-level Workers shim) and 1 runs
+	// the sweep inline with no goroutines.
+	Workers int
+	// Ctx, when non-nil, cancels the sweep between cells: no new cell
+	// starts after Ctx is done and Sweep returns Ctx.Err().
+	Ctx context.Context
+	// Obs, when non-nil, receives per-cell wall-clock samples
+	// (MetricCellSeconds) and a completed-cell counter (MetricCellsTotal),
+	// and is attached to the runtimes each cell builds, so cycle-level
+	// cluster and S-MAC series accumulate across the whole sweep.
+	Obs obs.Observer
+}
+
+// Metric series the sweep runner emits when Options.Obs is set.
+const (
+	// MetricCellSeconds is a histogram of per-cell wall-clock seconds.
+	MetricCellSeconds = "exp_cell_seconds"
+	// MetricCellsTotal counts completed sweep cells.
+	MetricCellsTotal = "exp_cells_total"
+)
+
+// Workers is the legacy package-wide worker-pool default.
+//
+// Deprecated: Workers is an unsynchronized global kept for one release as
+// a shim (cmd/experiments -workers used to set it); it is consulted only
+// when Options.Workers is zero. Set Options.Workers instead.
 var Workers int
 
-// sweepWorkers resolves a per-config worker count against the package
-// default: cfg > 0 wins, then Workers, then NumCPU. A value of 1 runs
-// the sweep inline with no goroutines.
-func sweepWorkers(cfg int) int {
-	if cfg > 0 {
-		return cfg
+// workerCount resolves the pool size: Options.Workers wins, then the
+// deprecated Workers global (the compatibility shim), then NumCPU.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
 	}
 	if Workers > 0 {
 		return Workers
@@ -33,31 +63,56 @@ func sweepWorkers(cfg int) int {
 	return runtime.NumCPU()
 }
 
+// context resolves the cancellation context, defaulting to Background.
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
 // Sweep runs fn(0..n-1) on a bounded worker pool and returns the results
 // in index order, so parallel sweeps render byte-identical tables to the
-// sequential loops they replace. workers <= 0 means runtime.NumCPU().
+// sequential loops they replace.
 //
 // On failure the first error by cell index is returned (lower-indexed
 // cells win, matching the error a sequential loop would surface);
-// remaining unstarted cells are abandoned.
-func Sweep[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+// remaining unstarted cells are abandoned. When o.Ctx is canceled no new
+// cell starts and the context's error is returned.
+func Sweep[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
+	ctx := o.context()
+	workers := o.workerCount()
 	if workers > n {
 		workers = n
 	}
 	out := make([]T, n)
+	run := func(i int) error {
+		var start time.Time
+		if o.Obs != nil {
+			start = time.Now()
+		}
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		if o.Obs != nil {
+			o.Obs.Observe(MetricCellSeconds, time.Since(start).Seconds())
+			o.Obs.Add(MetricCellsTotal, 1)
+		}
+		return nil
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
-			if err != nil {
+			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			out[i] = v
+			if err := run(i); err != nil {
+				return nil, err
+			}
 		}
 		return out, nil
 	}
@@ -71,20 +126,21 @@ func Sweep[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				v, err := fn(i)
-				if err != nil {
+				if err := run(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
 				}
-				out[i] = v
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

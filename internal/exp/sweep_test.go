@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -9,7 +10,7 @@ import (
 
 func TestSweepOrderedResults(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 7, 64} {
-		out, err := Sweep(20, workers, func(i int) (int, error) { return i * i, nil })
+		out, err := Sweep(Options{Workers: workers}, 20, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -25,7 +26,7 @@ func TestSweepOrderedResults(t *testing.T) {
 }
 
 func TestSweepEmpty(t *testing.T) {
-	out, err := Sweep(0, 4, func(i int) (int, error) { return 0, nil })
+	out, err := Sweep(Options{Workers: 4}, 0, func(i int) (int, error) { return 0, nil })
 	if err != nil || out != nil {
 		t.Fatalf("empty sweep: out=%v err=%v", out, err)
 	}
@@ -35,7 +36,7 @@ func TestSweepFirstErrorWins(t *testing.T) {
 	// Sequential: the lowest failing index is surfaced, and no later
 	// cell runs after it.
 	var ran atomic.Int32
-	_, err := Sweep(10, 1, func(i int) (int, error) {
+	_, err := Sweep(Options{Workers: 1}, 10, func(i int) (int, error) {
 		ran.Add(1)
 		if i >= 3 {
 			return 0, fmt.Errorf("cell %d", i)
@@ -51,7 +52,7 @@ func TestSweepFirstErrorWins(t *testing.T) {
 	// Parallel: some error is surfaced and it is the lowest-indexed one
 	// that was recorded.
 	sentinel := errors.New("boom")
-	_, err = Sweep(50, 8, func(i int) (int, error) {
+	_, err = Sweep(Options{Workers: 8}, 50, func(i int) (int, error) {
 		if i%7 == 3 {
 			return 0, sentinel
 		}
@@ -64,7 +65,7 @@ func TestSweepFirstErrorWins(t *testing.T) {
 
 func TestSweepStopsClaimingAfterFailure(t *testing.T) {
 	var ran atomic.Int32
-	_, err := Sweep(1000, 4, func(i int) (int, error) {
+	_, err := Sweep(Options{Workers: 4}, 1000, func(i int) (int, error) {
 		ran.Add(1)
 		return 0, errors.New("immediate")
 	})
@@ -79,7 +80,7 @@ func TestSweepStopsClaimingAfterFailure(t *testing.T) {
 }
 
 func TestSweepWorkersExceedCells(t *testing.T) {
-	out, err := Sweep(3, 16, func(i int) (string, error) { return fmt.Sprint(i), nil })
+	out, err := Sweep(Options{Workers: 16}, 3, func(i int) (string, error) { return fmt.Sprint(i), nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,18 +89,105 @@ func TestSweepWorkersExceedCells(t *testing.T) {
 	}
 }
 
+func TestSweepDeprecatedWorkersShim(t *testing.T) {
+	// The deprecated global is consulted only when Options.Workers is
+	// zero; cmd/experiments' old -workers path still works through it.
+	Workers = 1
+	defer func() { Workers = 0 }()
+	var ran atomic.Int32
+	_, err := Sweep(Options{}, 10, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 2 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// Only a sequential (one-worker) sweep stops after exactly 3 cells.
+	if ran.Load() != 3 {
+		t.Fatalf("shim ignored: ran %d cells, want 3", ran.Load())
+	}
+	if (Options{Workers: 2}).workerCount() != 2 {
+		t.Fatal("Options.Workers must win over the deprecated global")
+	}
+}
+
+func TestSweepContextCancel(t *testing.T) {
+	// Pre-canceled context: no cell runs, the context's error surfaces.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		_, err := Sweep(Options{Workers: workers, Ctx: ctx}, 10, func(i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d cells ran under a canceled context", workers, ran.Load())
+		}
+	}
+
+	// Cancel mid-sweep: the sweep stops between cells and reports ctx.Err()
+	// even though every completed cell succeeded.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var ran2 atomic.Int32
+	_, err := Sweep(Options{Workers: 2, Ctx: ctx2}, 1000, func(i int) (int, error) {
+		if ran2.Add(1) == 5 {
+			cancel2()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-sweep cancel: err = %v", err)
+	}
+	if ran2.Load() > 100 {
+		t.Fatalf("%d cells ran after cancellation", ran2.Load())
+	}
+}
+
+// TestSweepConcurrentOptions is the regression test for the old data race:
+// two sweeps with different worker counts used to fight over the exp.Workers
+// package global. With per-call Options they run concurrently race-free
+// (this test is in the -race CI matrix).
+func TestSweepConcurrentOptions(t *testing.T) {
+	done := make(chan error, 2)
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		go func() {
+			out, err := Sweep(Options{Workers: workers}, 50, func(i int) (int, error) { return i + workers, nil })
+			if err == nil {
+				for i, v := range out {
+					if v != i+workers {
+						err = fmt.Errorf("workers=%d: out[%d] = %d", workers, i, v)
+						break
+					}
+				}
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestFigSweepsDeterministicAcrossWorkerCounts pins the tentpole claim:
 // parallel sweeps render byte-identical tables to the sequential loops
 // they replaced, regardless of pool size.
 func TestFigSweepsDeterministicAcrossWorkerCounts(t *testing.T) {
 	cfg := QuickFig7a()
-	cfg.Workers = 1
-	seq, err := Fig7a(cfg)
+	seq, err := Fig7a(Options{Workers: 1}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Workers = 4
-	par, err := Fig7a(cfg)
+	par, err := Fig7a(Options{Workers: 4}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,13 +197,11 @@ func TestFigSweepsDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 
 	ccfg := QuickFig7c()
-	ccfg.Workers = 1
-	cseq, err := Fig7c(ccfg)
+	cseq, err := Fig7c(Options{Workers: 1}, ccfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ccfg.Workers = 3
-	cpar, err := Fig7c(ccfg)
+	cpar, err := Fig7c(Options{Workers: 3}, ccfg)
 	if err != nil {
 		t.Fatal(err)
 	}

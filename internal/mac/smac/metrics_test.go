@@ -1,0 +1,60 @@
+package smac
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+func TestNetworkEmitsMetrics(t *testing.T) {
+	c, err := topo.Build(topo.DefaultConfig(12, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(c.Med, topo.Head, DefaultConfig(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	nw.Obs = reg.Observer()
+	nw.StartCBR(40)
+	m := nw.Run(30*time.Second, 5*time.Second)
+	if m.Delivered == 0 {
+		t.Fatal("nothing delivered; the scenario is too idle to test metrics")
+	}
+
+	vals := map[string]float64{}
+	for _, s := range reg.Snapshot() {
+		vals[s.Name] = s.Value
+	}
+	if vals[MetricContention] <= 0 {
+		t.Errorf("%s = %v", MetricContention, vals[MetricContention])
+	}
+	if vals[MetricOverhears] <= 0 {
+		t.Errorf("%s = %v", MetricOverhears, vals[MetricOverhears])
+	}
+	// The observer counters include warmup, so they dominate the
+	// post-warmup Metrics struct.
+	if vals[MetricCollisions] < float64(m.Collisions) {
+		t.Errorf("%s = %v, below post-warmup count %d",
+			MetricCollisions, vals[MetricCollisions], m.Collisions)
+	}
+}
+
+func TestNetworkNilObserverDeterminism(t *testing.T) {
+	run := func(o obs.Observer) Metrics {
+		nw, err := NewNetwork(lineMedium(), 0, DefaultConfig(1, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.Obs = o
+		nw.StartCBR(8)
+		return nw.Run(60*time.Second, 5*time.Second)
+	}
+	reg := obs.NewRegistry()
+	if plain, observed := run(nil), run(reg.Observer()); plain != observed {
+		t.Fatalf("observer changed the run: %+v vs %+v", plain, observed)
+	}
+}

@@ -24,9 +24,25 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/routing/aodv"
 	"repro/internal/sim"
+)
+
+// Metric series the network emits when Network.Obs is set. Unlike the
+// Metrics struct, these counters cover the whole run, warmup included —
+// the observability layer watches the simulation as it happens.
+const (
+	// MetricContention counts contention attempts: a node with pending
+	// data reached the end of its backoff inside a usable window.
+	MetricContention = "smac_contention_attempts_total"
+	// MetricCollisions counts data frames corrupted at their intended
+	// receiver by overlapping transmissions.
+	MetricCollisions = "smac_collisions_total"
+	// MetricOverhears counts overheard RTS/CTS/data unicasts addressed to
+	// someone else (the virtual-carrier-sense input).
+	MetricOverhears = "smac_overhears_total"
 )
 
 // Config parameterizes the S-MAC network.
@@ -177,6 +193,11 @@ type Network struct {
 	sink  int
 	nodes []*node
 	air   map[*transmission]bool
+
+	// Obs, when non-nil, receives MAC-level counters (the Metric*
+	// constants) as the simulation runs. A nil Obs costs one branch per
+	// event.
+	Obs obs.Observer
 
 	warmupDone bool
 	m          Metrics
@@ -336,6 +357,13 @@ func (nd *node) sleepOverlap(from, to time.Duration) time.Duration {
 	return total
 }
 
+// count bumps a metric counter when an observer is attached.
+func (nw *Network) count(name string) {
+	if nw.Obs != nil {
+		nw.Obs.Add(name, 1)
+	}
+}
+
 // ThroughputBps converts delivered packets to bytes/second over the
 // measurement window.
 func (m Metrics) ThroughputBps(window time.Duration, dataBytes int) float64 {
@@ -437,8 +465,11 @@ func (nw *Network) finish(tx *transmission) {
 			continue // half duplex: was transmitting
 		}
 		if tx.corrupted[r] {
-			if tx.to == r && tx.pl.kind == pktDATA && nw.warmupDone {
-				nw.m.Collisions++
+			if tx.to == r && tx.pl.kind == pktDATA {
+				nw.count(MetricCollisions)
+				if nw.warmupDone {
+					nw.m.Collisions++
+				}
 			}
 			continue
 		}
@@ -510,6 +541,7 @@ func (nd *node) attempt() {
 	if !nd.canContend(now) {
 		return // missed the window; next frame
 	}
+	nd.net.count(MetricContention)
 	if now < nd.navUntil || nd.net.channelBusy(nd) {
 		// Defer: retry after the NAV/carrier clears if still listening.
 		resume := nd.navUntil
@@ -609,6 +641,7 @@ func (nd *node) sendCtrl(to int, pl payload) {
 // overhear implements virtual carrier sense from unicasts addressed to
 // someone else.
 func (nd *node) overhear(tx *transmission) {
+	nd.net.count(MetricOverhears)
 	if tx.pl.kind == pktRTS || tx.pl.kind == pktCTS {
 		until := tx.start + tx.pl.dur
 		if until > nd.navUntil {

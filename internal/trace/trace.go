@@ -5,11 +5,15 @@
 package trace
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Kind labels one event.
@@ -82,6 +86,90 @@ func (l *Log) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ReadCSV parses a log previously exported with WriteCSV. Together they
+// round-trip: ReadCSV(WriteCSV(l)) equals l.Events().
+func ReadCSV(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "cycle,slot,kind,from,to,request" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %q", got)
+	}
+	l := &Log{}
+	line := 1
+	for sc.Scan() {
+		line++
+		row := strings.TrimSpace(sc.Text())
+		if row == "" {
+			continue
+		}
+		f := strings.Split(row, ",")
+		if len(f) != 6 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 6", line, len(f))
+		}
+		var e Event
+		var err error
+		for i, dst := range []*int{&e.Cycle, &e.Slot, nil, &e.From, &e.To, &e.Request} {
+			if dst == nil {
+				continue
+			}
+			if *dst, err = strconv.Atoi(f[i]); err != nil {
+				return nil, fmt.Errorf("trace: line %d: field %d: %v", line, i+1, err)
+			}
+		}
+		e.Kind = Kind(f[2])
+		l.Add(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Metric series Summarize emits — the bridge from slot-level traces to the
+// obs layer.
+const (
+	// MetricEvents counts trace events, labeled kind="tx"|"loss"|....
+	MetricEvents = "trace_events_total"
+	// MetricLatencySlots is a histogram of per-request delivery latency in
+	// slots (first slot to arrival), derived from arrival events.
+	MetricLatencySlots = "trace_latency_slots"
+)
+
+// LatencyBuckets sizes the arrival-latency histogram (slot counts, not
+// seconds).
+var LatencyBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+
+// RegisterMetrics pre-registers the bridge's series in reg with help text
+// and slot-count latency buckets. Summarize works without it — series
+// auto-create on first use, but the latency histogram then gets the
+// seconds-oriented default buckets.
+func RegisterMetrics(reg *obs.Registry) {
+	for _, k := range []Kind{KindTx, KindLoss, KindArrival, KindRetry, KindComplete} {
+		reg.Counter(obs.Series(MetricEvents, "kind", string(k)), "trace events by kind")
+	}
+	reg.Histogram(MetricLatencySlots, "per-request delivery latency in slots", LatencyBuckets)
+}
+
+// Summarize publishes the log's aggregate view to an observer: one counter
+// increment per event by kind, and the arrival latency histogram. A nil
+// observer is a no-op, so callers can call this unconditionally.
+func (l *Log) Summarize(o obs.Observer) {
+	if o == nil || l == nil {
+		return
+	}
+	for _, e := range l.events {
+		o.Add(obs.Series(MetricEvents, "kind", string(e.Kind)), 1)
+		if e.Kind == KindArrival {
+			o.Observe(MetricLatencySlots, float64(e.Slot+1))
+		}
+	}
 }
 
 // AppendSchedule records a schedule's events into the log under the given
