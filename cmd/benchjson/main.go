@@ -3,6 +3,7 @@
 // snapshot (e.g. BENCH_PR1.json) instead of pasted terminal output.
 //
 //	benchjson -bench 'GreedyScheduler|GroupCompatible|TestedOracle' -o BENCH_PR1.json
+//	benchjson -bench FieldEpoch -pkgs ./internal/field/ -o BENCH_PR3.json
 //	benchjson -count 3 -note "after power-matrix cache"
 package main
 

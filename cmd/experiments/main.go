@@ -4,6 +4,7 @@
 //	experiments -fig 7a            # Fig. 7(a) percentage of active time
 //	experiments -fig 7b            # Fig. 7(b) throughput vs. S-MAC+AODV
 //	experiments -fig 7c            # Fig. 7(c) sector lifetime ratio
+//	experiments -fig field         # churned multi-cluster field sweep
 //	experiments -fig all -quick    # everything, cut-down sweeps
 //	experiments -ablation m        # compatibility-degree ablation
 package main
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/exp"
+	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -47,7 +49,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		fig      = flag.String("fig", "", "figure to regenerate: 7a, 7b, 7c, capacity, decay or all")
+		fig      = flag.String("fig", "", "figure to regenerate: 7a, 7b, 7c, capacity, decay, field or all")
 		ablation = flag.String("ablation", "", "ablation to run: delta, m, delay, intercluster, interference, gap, order, energy, joint or all")
 		quick    = flag.Bool("quick", false, "use cut-down sweeps")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
@@ -64,6 +66,7 @@ func main() {
 	if *metrics != "" {
 		reg = obs.NewRegistry()
 		cluster.RegisterMetrics(reg)
+		field.RegisterMetrics(reg)
 		opts.Obs = reg.Observer()
 	}
 
@@ -159,6 +162,15 @@ func main() {
 					fmt.Sprint(r.Nodes), fmt.Sprintf("%.1f", r.MaxRateBps), fmt.Sprintf("%.1f", r.TotalBps),
 				})
 			}
+		case "field":
+			headers, rows, err := runFieldFig(opts, *quick)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("Field sweep: field size x churn rate through the sharded runtime")
+			fmt.Println(stats.Table(headers, rows))
+			csvHeaders = headers
+			csvRows = rows
 		default:
 			log.Fatalf("unknown figure %q", name)
 		}

@@ -4,7 +4,9 @@
 // battery. It deploys a multi-cluster field with Voronoi cluster forming
 // (Section V-A), assigns inter-cluster radio channels by coloring
 // (Section V-G), simulates every cluster's polling with sector
-// partitioning, and reports field-wide energy figures.
+// partitioning, and reports field-wide energy figures. A second phase
+// runs the sharded field runtime with fault churn to show the field
+// surviving sensor deaths across epochs.
 //
 //	go run ./examples/envmonitor
 package main
@@ -15,6 +17,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/exp"
+	"repro/internal/field"
 	"repro/internal/topo"
 )
 
@@ -33,9 +37,9 @@ func main() {
 		heads, sensors, fieldSide, fieldSide)
 
 	// Cluster forming: heads compute Voronoi cells (Section V-A).
-	field := topo.BuildField(7, fieldSide, heads, sensors)
+	fld := topo.BuildField(7, fieldSide, heads, sensors)
 	sizes := make([]int, heads)
-	for _, cl := range field.Assign {
+	for _, cl := range fld.Assign {
 		sizes[cl]++
 	}
 	fmt.Printf("Voronoi cluster sizes: %v\n", sizes)
@@ -49,7 +53,7 @@ func main() {
 	cfg := topo.DefaultConfig(0, 0) // radio/range parameters for every cluster
 	cfg.SensorRange = 40            // Voronoi cells are wide; reach accordingly
 	cfg.HeadRange = 300
-	summary, err := cluster.RunField(field, cfg, params, 4, 80, batteryJ)
+	summary, err := field.RunField(fld, cfg, params, 4, 80, batteryJ)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,4 +74,37 @@ func main() {
 		summary.ColoredCycle.Round(time.Millisecond))
 	fmt.Printf("the %v cycle leaves %.1fx headroom on the busiest channel\n",
 		params.Cycle, float64(params.Cycle)/float64(summary.ColoredCycle))
+
+	// Phase two: months of operation compressed into churned epochs.
+	// Every epoch one in three clusters loses a sensor to hardware
+	// failure; the head re-plans around the gap and the field keeps
+	// delivering for the survivors.
+	fmt.Printf("\n== Field runtime: 8 epochs with relay-fault churn ==\n\n")
+	rt, err := field.New(fld, field.Config{
+		Topo:              cfg,
+		Params:            params,
+		InterferenceRange: 80,
+		BatteryJoules:     batteryJ,
+		EpochCycles:       2,
+		Epochs:            8,
+		Churn:             field.Churn{FaultRate: 0.33},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := rt.Run(exp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rep := range run.Reports {
+		live := 0
+		for _, c := range rep.Clusters {
+			live += c.Live
+		}
+		fmt.Printf("epoch %d: %d clusters, %4d live sensors, colored cycle %8v, deaths %d, stranded %d\n",
+			rep.Epoch, len(rep.Clusters), live, rep.ColoredCycle.Round(time.Millisecond),
+			len(rep.Deaths), rep.Stranded)
+	}
+	fmt.Printf("\ndelivered %.1f%% of offered packets across the run; %d deaths, %d re-plans\n",
+		run.DeliveredFraction()*100, len(run.Deaths), run.ReplansTotal)
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/energy"
+	"repro/internal/field"
 	"repro/internal/mac/smac"
 	"repro/internal/routing"
 	"repro/internal/sector"
@@ -152,7 +153,7 @@ func TestFullFieldLifecycle(t *testing.T) {
 	p.RateBps = 15
 	p.Cycle = 10 * time.Second
 	p.UseSectors = true
-	s, err := cluster.RunField(f, cfg, p, 2, 80, 500)
+	s, err := field.RunField(f, cfg, p, 2, 80, 500)
 	if err != nil {
 		t.Fatal(err)
 	}

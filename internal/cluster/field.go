@@ -1,18 +1,19 @@
 package cluster
 
 import (
-	"fmt"
 	"time"
-
-	"repro/internal/energy"
-	"repro/internal/topo"
 )
 
-// Field-level simulation: many clusters operating side by side, with
-// inter-cluster interference removed by channel coloring (Section V-G).
-// Clusters on different channels run concurrently; clusters sharing a
-// channel rotate a token, so the field's feasible cycle is bounded by the
-// busiest channel's total duty.
+// Field-level aggregation types: many clusters operating side by side,
+// with inter-cluster interference removed by channel coloring (Section
+// V-G). Clusters on different channels run concurrently; clusters
+// sharing a channel rotate a token, so the field's feasible cycle is
+// bounded by the busiest channel's total duty.
+//
+// The field *runtime* — sharded epoch execution, churn injection,
+// checkpointing — lives in internal/field; its field.RunField wrapper
+// replaces the sequential RunField helper that used to live here and
+// returns this package's FieldSummary unchanged.
 
 // FieldSummary aggregates a whole field's simulation.
 type FieldSummary struct {
@@ -30,63 +31,8 @@ type FieldSummary struct {
 	// ColoredCycle under the channel coloring.
 	TokenCycle, ColoredCycle time.Duration
 	// Lifetime is the field's first-sensor-death time at the battery
-	// capacity passed to RunField.
+	// capacity passed to field.RunField.
 	Lifetime time.Duration
-}
-
-// RunField simulates every non-empty cluster of the field for the given
-// number of cycles under shared parameters, assigns channels by coloring
-// the inter-cluster interference graph, and aggregates.
-//
-// interferenceRange is the sensor-to-sensor distance below which two
-// clusters are considered adjacent; batteryJoules sizes the lifetime
-// computation.
-func RunField(f *topo.Field, cfg topo.Config, p Params, cycles int,
-	interferenceRange, batteryJoules float64) (*FieldSummary, error) {
-	if cycles < 1 {
-		return nil, fmt.Errorf("cluster: need at least one cycle")
-	}
-	colors, channels := f.ChannelAssignment(interferenceRange)
-	em := energy.DefaultModel()
-	out := &FieldSummary{Channels: channels}
-	var duties []time.Duration
-	var dutyColors []int
-	for k := range f.Heads {
-		c, err := f.BuildCluster(k, cfg)
-		if err != nil {
-			return nil, err
-		}
-		if c.Sensors() == 0 {
-			continue
-		}
-		r, err := NewRunner(c, p)
-		if err != nil {
-			return nil, fmt.Errorf("cluster %d: %w", k, err)
-		}
-		out.Stranded += len(r.Unreachable)
-		s, err := r.Run(cycles)
-		if err != nil {
-			return nil, fmt.Errorf("cluster %d: %w", k, err)
-		}
-		out.Clusters++
-		out.PerCluster = append(out.PerCluster, s)
-		out.Colors = append(out.Colors, colors[k])
-		duties = append(duties, s.MeanDuty)
-		dutyColors = append(dutyColors, colors[k])
-		if len(r.Unreachable) < c.Sensors() { // at least one live sensor
-			lt := s.Lifetime(em, batteryJoules)
-			if out.Lifetime == 0 || lt < out.Lifetime {
-				out.Lifetime = lt
-			}
-		}
-	}
-	out.TokenCycle = TokenRotationCycle(duties)
-	colored, err := ColoredCycle(duties, dutyColors)
-	if err != nil {
-		return nil, err
-	}
-	out.ColoredCycle = colored
-	return out, nil
 }
 
 // FitsCycle reports whether the field sustains the given cycle length

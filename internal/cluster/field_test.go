@@ -7,51 +7,70 @@ import (
 	"repro/internal/topo"
 )
 
-func TestRunField(t *testing.T) {
-	f := topo.BuildField(11, 300, 5, 80)
-	cfg := topo.DefaultConfig(0, 0) // ranges/propagation only; counts come from the field
-	p := DefaultParams()
-	p.RateBps = 20
-	p.LossProb = 0
-	s, err := RunField(f, cfg, p, 2, 80, 100)
+// Field-level cycle arithmetic edge cases. The runtime that exercises
+// these across live fields is internal/field; here the pure helpers are
+// pinned on their boundary inputs.
+
+func TestColoredCycleSingleChannel(t *testing.T) {
+	// Every cluster on one channel: coloring buys nothing, the colored
+	// cycle is the full token rotation.
+	duties := []time.Duration{3 * time.Millisecond, 5 * time.Millisecond, 2 * time.Millisecond}
+	colors := []int{0, 0, 0}
+	got, err := ColoredCycle(duties, colors)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Clusters == 0 || s.Clusters > 5 {
-		t.Fatalf("clusters = %d", s.Clusters)
-	}
-	if s.Channels < 1 || s.Channels > 6 {
-		t.Fatalf("channels = %d", s.Channels)
-	}
-	if len(s.PerCluster) != s.Clusters || len(s.Colors) != s.Clusters {
-		t.Fatalf("per-cluster sizes: %d summaries, %d colors", len(s.PerCluster), len(s.Colors))
-	}
-	// Coloring can never be worse than the token.
-	if s.ColoredCycle > s.TokenCycle {
-		t.Fatalf("colored %v > token %v", s.ColoredCycle, s.TokenCycle)
-	}
-	if s.Lifetime <= 0 {
-		t.Fatal("field lifetime missing")
-	}
-	// Every cluster delivered everything it could reach.
-	for i, cs := range s.PerCluster {
-		if cs.DeliveredFraction() != 1 {
-			t.Fatalf("cluster %d delivered %v", i, cs.DeliveredFraction())
-		}
-	}
-	if !s.FitsCycle(s.ColoredCycle) {
-		t.Fatal("field must fit its own colored cycle")
-	}
-	if s.FitsCycle(s.ColoredCycle - time.Nanosecond) {
-		t.Fatal("field cannot fit below its colored cycle")
+	if want := TokenRotationCycle(duties); got != want {
+		t.Fatalf("single channel colored cycle %v, want token cycle %v", got, want)
 	}
 }
 
-func TestRunFieldValidation(t *testing.T) {
-	f := topo.BuildField(3, 200, 2, 10)
-	cfg := topo.DefaultConfig(0, 0)
-	if _, err := RunField(f, cfg, DefaultParams(), 0, 80, 100); err == nil {
-		t.Fatal("zero cycles should error")
+func TestColoredCycleEmptyField(t *testing.T) {
+	got, err := ColoredCycle(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("empty field colored cycle %v, want 0", got)
+	}
+	if TokenRotationCycle(nil) != 0 {
+		t.Fatal("empty field token cycle must be 0")
+	}
+}
+
+func TestColoredCycleOneClusterPerChannel(t *testing.T) {
+	// Fully parallel field: the busiest single cluster sets the cycle.
+	duties := []time.Duration{3 * time.Millisecond, 7 * time.Millisecond, 2 * time.Millisecond}
+	colors := []int{0, 1, 2}
+	got, err := ColoredCycle(duties, colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 7 * time.Millisecond; got != want {
+		t.Fatalf("one-cluster-per-channel colored cycle %v, want max duty %v", got, want)
+	}
+}
+
+func TestColoredCycleLengthMismatch(t *testing.T) {
+	if _, err := ColoredCycle([]time.Duration{time.Millisecond}, []int{0, 1}); err == nil {
+		t.Fatal("mismatched duties/colors should error")
+	}
+}
+
+func TestFieldSummaryFitsCycle(t *testing.T) {
+	s := &FieldSummary{ColoredCycle: 10 * time.Millisecond}
+	if !s.FitsCycle(10 * time.Millisecond) {
+		t.Fatal("field must fit exactly its colored cycle")
+	}
+	if !s.FitsCycle(time.Second) {
+		t.Fatal("field must fit any longer cycle")
+	}
+	if s.FitsCycle(10*time.Millisecond - time.Nanosecond) {
+		t.Fatal("field cannot fit below its colored cycle")
+	}
+	empty := &FieldSummary{}
+	if !empty.FitsCycle(0) {
+		t.Fatal("an empty field fits the zero cycle")
 	}
 }
 

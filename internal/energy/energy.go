@@ -57,6 +57,13 @@ func DefaultModel() Model {
 	}}
 }
 
+// IsZero reports whether the model is the zero value (every state draws
+// nothing). Configuration structs use it to fall back to a default model:
+// a radio that is free in every state models nothing.
+func (m Model) IsZero() bool {
+	return m == Model{}
+}
+
 // PowerOf returns the draw of state s in watts.
 func (m Model) PowerOf(s State) float64 {
 	if s < 0 || s >= numStates {

@@ -51,9 +51,11 @@ const (
 // when Options.Workers is zero. Set Options.Workers instead.
 var Workers int
 
-// workerCount resolves the pool size: Options.Workers wins, then the
-// deprecated Workers global (the compatibility shim), then NumCPU.
-func (o Options) workerCount() int {
+// WorkerCount resolves the pool size: Options.Workers wins, then the
+// deprecated Workers global (the compatibility shim), then NumCPU. Other
+// runtimes that bound their own pools by Options (e.g. the field runtime's
+// shard workers) resolve through this so every consumer agrees.
+func (o Options) WorkerCount() int {
 	if o.Workers > 0 {
 		return o.Workers
 	}
@@ -63,8 +65,8 @@ func (o Options) workerCount() int {
 	return runtime.NumCPU()
 }
 
-// context resolves the cancellation context, defaulting to Background.
-func (o Options) context() context.Context {
+// Context resolves the cancellation context, defaulting to Background.
+func (o Options) Context() context.Context {
 	if o.Ctx != nil {
 		return o.Ctx
 	}
@@ -83,8 +85,8 @@ func Sweep[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	ctx := o.context()
-	workers := o.workerCount()
+	ctx := o.Context()
+	workers := o.WorkerCount()
 	if workers > n {
 		workers = n
 	}

@@ -109,7 +109,7 @@ func TestSweepDeprecatedWorkersShim(t *testing.T) {
 	if ran.Load() != 3 {
 		t.Fatalf("shim ignored: ran %d cells, want 3", ran.Load())
 	}
-	if (Options{Workers: 2}).workerCount() != 2 {
+	if (Options{Workers: 2}).WorkerCount() != 2 {
 		t.Fatal("Options.Workers must win over the deprecated global")
 	}
 }

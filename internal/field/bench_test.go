@@ -1,0 +1,49 @@
+package field
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/exp"
+	"repro/internal/topo"
+)
+
+// BenchmarkFieldEpoch measures one churn-free field epoch — the
+// runtime's hot loop — sequential versus sharded. Same-channel clusters
+// must serialize, so the speedup ceiling is clusters/channels, and on a
+// single-CPU host the sharded numbers mostly show the goroutine overhead.
+//
+//	go run ./cmd/benchjson -bench FieldEpoch -o BENCH_PR3.json
+func BenchmarkFieldEpoch(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			f := topo.BuildField(877, 380, 6, 150)
+			cfg := topo.DefaultConfig(0, 0)
+			cfg.SensorRange = 40
+			cfg.HeadRange = 380
+			p := cluster.DefaultParams()
+			p.RateBps = 15
+			p.Cycle = 10 * time.Second
+			p.UseSectors = true
+			rt, err := New(f, Config{
+				Topo:              cfg,
+				Params:            p,
+				InterferenceRange: 80,
+				EpochCycles:       2,
+				Epochs:            1 << 30, // never reached; RunEpoch is called directly
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := exp.Options{Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rt.RunEpoch(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

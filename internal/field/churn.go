@@ -1,0 +1,152 @@
+package field
+
+import (
+	"repro/internal/radio"
+)
+
+// The churn engine: runs single-threaded at every epoch boundary, after
+// the shard barrier. Every draw is a pure hash of (churn seed, epoch,
+// cluster, salt), so the fault sequence is a function of the
+// configuration alone — independent of worker count, wall clock and
+// iteration order — and a resumed runtime replays the exact same faults.
+
+// Salt constants keep the three draw families independent streams.
+const (
+	saltFault  = 0xfa017
+	saltVictim = 0x71c71
+	saltShadow = 0x5ad00
+)
+
+// churn applies the epoch boundary: battery depletion from the epoch's
+// energy accounting, injected relay faults, and shadowing shifts; then
+// recounts stranded sensors and re-planned clusters into the report.
+func (rt *Runtime) churn(epoch int, outs []clusterEpochOut, rep *EpochReport) {
+	changed := make([]bool, len(rt.clusters))
+
+	// Battery depletion: integrate the epoch's per-sensor draw and kill
+	// empties. Stranded-but-powered sensors drain sleep energy like
+	// everyone else; already-dead sensors are left alone.
+	if rt.batteries != nil {
+		for k, c := range rt.clusters {
+			if c == nil || outs[k].energyUse == nil {
+				continue
+			}
+			for v := 1; v <= c.Sensors(); v++ {
+				if rt.dead[k][v] {
+					continue
+				}
+				rt.batteries[k][v] -= outs[k].energyUse[v]
+				if rt.batteries[k][v] <= 0 {
+					rt.batteries[k][v] = 0
+					rt.kill(k, v)
+					changed[k] = true
+					rep.Deaths = append(rep.Deaths, Death{
+						Epoch: epoch, Cluster: k, Sensor: v, Cause: "battery",
+					})
+				}
+			}
+		}
+	}
+
+	// Injected relay faults: with probability FaultRate per cluster, one
+	// uniformly drawn reachable sensor dies abruptly.
+	if rate := rt.cfg.Churn.FaultRate; rate > 0 {
+		seed := uint64(rt.cfg.churnSeed())
+		for k, c := range rt.clusters {
+			if c == nil {
+				continue
+			}
+			draw := hashMix(seed, uint64(epoch), uint64(k), saltFault)
+			if hashUnit(draw) >= rate {
+				continue
+			}
+			alive := c.Reachable()
+			if len(alive) == 0 {
+				continue
+			}
+			pick := hashMix(seed, uint64(epoch), uint64(k), saltVictim)
+			v := alive[int(pick%uint64(len(alive)))]
+			rt.kill(k, v)
+			changed[k] = true
+			rep.Deaths = append(rep.Deaths, Death{
+				Epoch: epoch, Cluster: k, Sensor: v, Cause: "fault",
+			})
+		}
+	}
+
+	// Shadowing shift: re-derive the field-wide per-link shadowing table
+	// and refresh every cluster's cached power matrix and connectivity.
+	// Only a LogDistance propagation model exposes the hook; the revision
+	// counter (not the epoch) keys the table so a resume replays it.
+	if rt.shadowDue(epoch) {
+		rt.shadowRev++
+		rt.applyShadow()
+		for k, c := range rt.clusters {
+			if c != nil {
+				changed[k] = true
+			}
+		}
+	}
+
+	rep.Stranded = rt.countStranded()
+	for k, c := range rt.clusters {
+		if c != nil && changed[k] {
+			rep.Replans++
+		}
+	}
+}
+
+// kill removes sensor v of cluster k from the network: transmit power to
+// zero, connectivity and levels rebuilt (topo.Cluster.MarkFailed).
+func (rt *Runtime) kill(k, v int) {
+	rt.dead[k][v] = true
+	rt.clusters[k].MarkFailed(v)
+}
+
+// shadowDue reports whether the boundary after the given epoch shifts
+// the shadowing environment.
+func (rt *Runtime) shadowDue(epoch int) bool {
+	ch := rt.cfg.Churn
+	if ch.ShadowSigmaDB <= 0 || ch.ShadowEvery <= 0 {
+		return false
+	}
+	if _, ok := rt.cfg.Topo.Prop.(*radio.LogDistance); !ok {
+		return false
+	}
+	return (epoch+1)%ch.ShadowEvery == 0
+}
+
+// applyShadow installs the shadow table for the current revision on the
+// shared LogDistance model and refreshes every cluster. Keying the table
+// by revision makes the radio environment a pure function of (seed,
+// revision): Resume re-applies it with one call regardless of history.
+func (rt *Runtime) applyShadow() {
+	ld, ok := rt.cfg.Topo.Prop.(*radio.LogDistance)
+	if !ok || rt.shadowRev == 0 {
+		return
+	}
+	seed := int64(hashMix(uint64(rt.cfg.churnSeed()), uint64(rt.shadowRev), saltShadow))
+	ld.ShadowDB = radio.HashShadow(seed, rt.cfg.Churn.ShadowSigmaDB)
+	for _, c := range rt.clusters {
+		if c != nil {
+			c.RefreshConnectivity()
+		}
+	}
+}
+
+// countStranded counts powered sensors without a relaying path to their
+// head across the field.
+func (rt *Runtime) countStranded() int {
+	stranded := 0
+	for k, c := range rt.clusters {
+		if c == nil {
+			continue
+		}
+		for v := 1; v <= c.Sensors(); v++ {
+			if !rt.dead[k][v] && c.Level[v] <= 0 {
+				stranded++
+			}
+		}
+	}
+	return stranded
+}

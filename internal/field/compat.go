@@ -1,0 +1,60 @@
+package field
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/exp"
+	"repro/internal/topo"
+)
+
+// RunField is the drop-in replacement for the retired cluster.RunField
+// helper: it simulates every non-empty cluster of the field for the
+// given number of cycles under shared parameters, assigns channels by
+// coloring the inter-cluster interference graph, and aggregates into the
+// legacy cluster.FieldSummary.
+//
+// It is a thin wrapper over the sharded runtime — one epoch of `cycles`
+// duty cycles with churn disabled and the default energy model (the
+// value the old helper hardcoded; build a Config directly to choose
+// another). The runtime's determinism contract makes the output
+// identical to the old sequential loop.
+func RunField(f *topo.Field, cfg topo.Config, p cluster.Params, cycles int,
+	interferenceRange, batteryJoules float64) (*cluster.FieldSummary, error) {
+	if cycles < 1 {
+		return nil, fmt.Errorf("field: need at least one cycle")
+	}
+	rt, err := New(f, Config{
+		Topo:              cfg,
+		Params:            p,
+		InterferenceRange: interferenceRange,
+		BatteryJoules:     batteryJoules,
+		Energy:            energy.DefaultModel(),
+		EpochCycles:       cycles,
+		Epochs:            1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ep, err := rt.RunEpoch(exp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := &cluster.FieldSummary{
+		Channels:     rt.Channels(),
+		TokenCycle:   ep.Report.TokenCycle,
+		ColoredCycle: ep.Report.ColoredCycle,
+		Lifetime:     rt.Summary().Lifetime,
+	}
+	for k, s := range ep.Summaries {
+		if s == nil {
+			continue
+		}
+		out.Clusters++
+		out.PerCluster = append(out.PerCluster, s)
+		out.Colors = append(out.Colors, rt.colors[k])
+		out.Stranded += ep.Unreachable[k]
+	}
+	return out, nil
+}

@@ -1,0 +1,593 @@
+// Package field is the multi-cluster field runtime: it promotes the
+// whole-deployment simulation from a sequential helper loop into a
+// first-class sharded engine. Clusters are grouped into shards by their
+// radio channel (the Section V-G coloring): clusters sharing a channel
+// serialize inside their shard — the token rotation of the paper — while
+// different channels run concurrently on a worker pool bounded by
+// exp.Options.Workers. The field advances in lockstep epochs; at every
+// epoch boundary a deterministic, seed-derived churn engine injects
+// faults (battery depletion through real energy accounting, relay death
+// through topo.Cluster.MarkFailed, shadowing shifts through
+// radio.Medium.Refresh) and the affected clusters re-plan, so stranded
+// sensors drop out while the field keeps delivering for survivors —
+// the paper's Fig. 7(c) longitudinal story extended to whole fields.
+//
+// The runtime is deterministic by construction: an epoch is a closed
+// unit. Cluster runtimes are rebuilt at each epoch boundary from
+// (seed, epoch, cluster), every random draw is a pure hash of those
+// coordinates, and aggregation happens single-threaded in cluster-index
+// order after the shard barrier. A run with Workers=1 and Workers=8
+// therefore produces byte-identical summaries, and the epoch-boundary
+// Snapshot is sufficient state: serializing it, rebuilding the field and
+// resuming produces the same final summary as the uninterrupted run.
+package field
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/exp"
+	"repro/internal/topo"
+)
+
+// Churn configures the epoch-boundary fault engine. The zero value
+// injects nothing (batteries still deplete when Config.BatteryJoules is
+// set — depletion is accounting, not injection).
+type Churn struct {
+	// FaultRate is the per-cluster, per-epoch probability that one live
+	// sensor dies abruptly at the epoch boundary (hardware failure of a
+	// relay, as opposed to the gradual battery depletion the energy
+	// accounting produces). The victim is drawn uniformly from the
+	// cluster's reachable sensors.
+	FaultRate float64
+	// ShadowSigmaDB, when positive, shifts the radio environment every
+	// ShadowEvery epochs: a new deterministic per-link shadowing table
+	// (radio.HashShadow) is installed on the field's propagation model
+	// and every cluster's power matrix is refreshed. It requires the
+	// topology Config's Prop to be a *radio.LogDistance; with any other
+	// model shadow churn is silently inert (two-ray has no shadowing
+	// hook).
+	ShadowSigmaDB float64
+	// ShadowEvery is the period of shadow shifts in epochs; 0 disables
+	// them even when ShadowSigmaDB is set.
+	ShadowEvery int
+	// Seed decorrelates fault draws from the workload/loss randomness;
+	// 0 falls back to the cluster Params seed.
+	Seed int64
+}
+
+// Config describes one field simulation.
+type Config struct {
+	// Topo carries the per-cluster radio and range parameters; sensor
+	// counts come from the field's Voronoi cells, not Topo.Sensors.
+	Topo topo.Config
+	// Params are the shared cluster runtime parameters. Params.Seed is
+	// the base seed every epoch-level seed derives from.
+	Params cluster.Params
+	// InterferenceRange is the sensor-to-sensor distance below which two
+	// clusters are considered adjacent for channel coloring.
+	InterferenceRange float64
+	// BatteryJoules sizes each sensor's battery. Positive values enable
+	// real depletion accounting (sensors die when their battery empties)
+	// and the steady-state Lifetime estimate; zero or negative runs on
+	// mains (no depletion, no lifetime).
+	BatteryJoules float64
+	// Energy is the model used for battery depletion and the Lifetime
+	// estimate. The zero value falls back to Params.Energy, then to
+	// energy.DefaultModel() — the hardcoded default the pre-runtime
+	// RunField helper used.
+	Energy energy.Model
+	// EpochCycles is the number of duty cycles each live cluster runs
+	// per epoch; 0 means 1.
+	EpochCycles int
+	// Epochs is how many epochs Run executes; 0 means 1.
+	Epochs int
+	// Churn is the fault-injection configuration.
+	Churn Churn
+}
+
+// epochCycles resolves the per-epoch cycle count.
+func (c Config) epochCycles() int {
+	if c.EpochCycles < 1 {
+		return 1
+	}
+	return c.EpochCycles
+}
+
+// epochs resolves the run length.
+func (c Config) epochs() int {
+	if c.Epochs < 1 {
+		return 1
+	}
+	return c.Epochs
+}
+
+// energyModel resolves the depletion/lifetime model.
+func (c Config) energyModel() energy.Model {
+	if !c.Energy.IsZero() {
+		return c.Energy
+	}
+	if !c.Params.Energy.IsZero() {
+		return c.Params.Energy
+	}
+	return energy.DefaultModel()
+}
+
+// churnSeed resolves the fault-draw seed.
+func (c Config) churnSeed() int64 {
+	if c.Churn.Seed != 0 {
+		return c.Churn.Seed
+	}
+	return c.Params.Seed
+}
+
+// Death records one sensor's demise at an epoch boundary.
+type Death struct {
+	// Epoch is the boundary index (the death happens after epoch Epoch).
+	Epoch int `json:"epoch"`
+	// Cluster is the field cluster index, Sensor the cluster-local node.
+	Cluster int `json:"cluster"`
+	Sensor  int `json:"sensor"`
+	// Cause is "battery" (depletion) or "fault" (injected churn).
+	Cause string `json:"cause"`
+}
+
+// ClusterEpoch is one cluster's compact per-epoch row.
+type ClusterEpoch struct {
+	Cluster int `json:"cluster"`
+	Channel int `json:"channel"`
+	// Live counts the reachable, powered sensors that took part.
+	Live      int           `json:"live"`
+	Offered   int           `json:"offered"`
+	Delivered int           `json:"delivered"`
+	Retries   int           `json:"retries"`
+	MeanDuty  time.Duration `json:"mean_duty_ns"`
+	Fits      bool          `json:"fits"`
+}
+
+// EpochReport summarizes one field epoch plus the churn boundary that
+// closed it.
+type EpochReport struct {
+	Epoch int `json:"epoch"`
+	// Clusters holds one row per cluster that ran, ascending by index.
+	Clusters []ClusterEpoch `json:"clusters"`
+	// TokenCycle and ColoredCycle are the minimum feasible field cycles
+	// this epoch under single-token rotation and under the coloring.
+	TokenCycle   time.Duration `json:"token_cycle_ns"`
+	ColoredCycle time.Duration `json:"colored_cycle_ns"`
+	// Deaths lists the sensors that died at this epoch's boundary.
+	Deaths []Death `json:"deaths,omitempty"`
+	// Stranded counts live sensors without a relaying path after the
+	// boundary's re-planning.
+	Stranded int `json:"stranded"`
+	// Replans counts clusters whose topology changed at the boundary
+	// (deaths or shadowing) and were re-planned for the next epoch.
+	Replans int `json:"replans"`
+}
+
+// Summary is the serializable whole-run aggregate — the object the
+// determinism contract is stated over: identical for identical (field,
+// Config) regardless of worker count, byte for byte.
+type Summary struct {
+	// Clusters counts the field's non-empty clusters; Channels the
+	// colors the interference coloring used; Colors each non-empty
+	// cluster's channel in head order.
+	Clusters int   `json:"clusters"`
+	Channels int   `json:"channels"`
+	Colors   []int `json:"colors"`
+	// Epochs completed and duty cycles per epoch.
+	Epochs      int `json:"epochs"`
+	EpochCycles int `json:"epoch_cycles"`
+	// OfferedTotal/DeliveredTotal/RetriesTotal count data packets and
+	// loss-induced re-polls across the whole run.
+	OfferedTotal   int `json:"offered_total"`
+	DeliveredTotal int `json:"delivered_total"`
+	RetriesTotal   int `json:"retries_total"`
+	// Deaths in boundary order (battery deaths before injected faults
+	// within a boundary, ascending cluster then sensor).
+	Deaths []Death `json:"deaths,omitempty"`
+	// FirstDeath is the simulated time of the first death, 0 if none.
+	FirstDeath time.Duration `json:"first_death_ns"`
+	// Lifetime is the steady-state first-sensor-death estimate from the
+	// initial epoch's mean profiles at Config.BatteryJoules — the metric
+	// the paper's Fig. 7(c) plots. Zero when batteries are disabled.
+	Lifetime time.Duration `json:"lifetime_ns"`
+	// StrandedFinal counts live sensors with no relaying path at the end.
+	StrandedFinal int `json:"stranded_final"`
+	// ReplansTotal counts per-cluster re-planning events across the run.
+	ReplansTotal int `json:"replans_total"`
+	// Reports holds the per-epoch rows in order.
+	Reports []EpochReport `json:"reports"`
+}
+
+// DeliveredFraction is the run-wide delivery ratio.
+func (s *Summary) DeliveredFraction() float64 {
+	if s.OfferedTotal == 0 {
+		return 1
+	}
+	return float64(s.DeliveredTotal) / float64(s.OfferedTotal)
+}
+
+// MaxColoredCycle returns the largest per-epoch colored cycle — the duty
+// the field's worst epoch demanded from its busiest channel.
+func (s *Summary) MaxColoredCycle() time.Duration {
+	var max time.Duration
+	for i := range s.Reports {
+		if c := s.Reports[i].ColoredCycle; c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// FitsCycle reports whether the field sustained the given cycle length
+// under its channel coloring through every epoch.
+func (s *Summary) FitsCycle(cycle time.Duration) bool {
+	return s.MaxColoredCycle() <= cycle
+}
+
+// Epoch is the full in-memory result of one epoch, including the
+// per-cluster summaries the compact Summary drops. The compatibility
+// wrapper builds the legacy cluster.FieldSummary from it.
+type Epoch struct {
+	Report EpochReport
+	// Summaries[k] is field cluster k's summary, nil for clusters that
+	// did not run (empty Voronoi cells).
+	Summaries []*cluster.Summary
+	// Unreachable[k] counts cluster k's sensors without a relaying path
+	// going into the epoch (dead or stranded).
+	Unreachable []int
+}
+
+// Runtime is a field simulation in progress. It is not safe for
+// concurrent use; the parallelism lives inside RunEpoch.
+type Runtime struct {
+	f        *topo.Field
+	cfg      Config
+	em       energy.Model
+	colors   []int   // per field cluster
+	channels int
+	shards   [][]int // shard -> ascending cluster indices, ordered by channel
+
+	clusters  []*topo.Cluster // nil for empty clusters
+	batteries [][]float64     // remaining joules, [k][v], nil when disabled
+	dead      [][]bool        // [k][v]
+	epoch     int
+	shadowRev int
+
+	sum Summary
+}
+
+// New builds a runtime over the field. The field's clusters are
+// materialized once; churn mutates them in place across epochs.
+func New(f *topo.Field, cfg Config) (*Runtime, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InterferenceRange <= 0 {
+		return nil, fmt.Errorf("field: non-positive interference range %g", cfg.InterferenceRange)
+	}
+	colors, channels := f.ChannelAssignment(cfg.InterferenceRange)
+	rt := &Runtime{
+		f:        f,
+		cfg:      cfg,
+		em:       cfg.energyModel(),
+		colors:   colors,
+		channels: channels,
+	}
+	rt.clusters = make([]*topo.Cluster, len(f.Heads))
+	rt.dead = make([][]bool, len(f.Heads))
+	if cfg.BatteryJoules > 0 {
+		rt.batteries = make([][]float64, len(f.Heads))
+	}
+	for k := range f.Heads {
+		c, err := f.BuildCluster(k, cfg.Topo)
+		if err != nil {
+			return nil, err
+		}
+		n := c.Sensors()
+		if n == 0 {
+			continue
+		}
+		rt.clusters[k] = c
+		rt.dead[k] = make([]bool, n+1)
+		if rt.batteries != nil {
+			rt.batteries[k] = make([]float64, n+1)
+			for v := 1; v <= n; v++ {
+				rt.batteries[k][v] = cfg.BatteryJoules
+			}
+		}
+		rt.sum.Clusters++
+		rt.sum.Colors = append(rt.sum.Colors, colors[k])
+	}
+	rt.sum.Channels = channels
+	rt.sum.EpochCycles = cfg.epochCycles()
+	rt.buildShards()
+	return rt, nil
+}
+
+// buildShards groups the non-empty clusters by channel color: one shard
+// per color in ascending color order, ascending cluster index within.
+func (rt *Runtime) buildShards() {
+	byColor := make(map[int][]int)
+	for k, c := range rt.clusters {
+		if c == nil {
+			continue
+		}
+		byColor[rt.colors[k]] = append(byColor[rt.colors[k]], k)
+	}
+	channels := make([]int, 0, len(byColor))
+	for ch := range byColor {
+		channels = append(channels, ch)
+	}
+	sort.Ints(channels)
+	rt.shards = rt.shards[:0]
+	for _, ch := range channels {
+		rt.shards = append(rt.shards, byColor[ch])
+	}
+}
+
+// Epoch returns the index of the next epoch to run (equivalently, the
+// number of completed epochs).
+func (rt *Runtime) Epoch() int { return rt.epoch }
+
+// Summary returns the aggregate accumulated so far. The pointer stays
+// valid (and keeps updating) across epochs.
+func (rt *Runtime) Summary() *Summary { return &rt.sum }
+
+// Channels returns the number of radio channels the coloring used.
+func (rt *Runtime) Channels() int { return rt.channels }
+
+// epochSeed derives cluster k's runtime seed for an epoch. Epoch 0 uses
+// the base seed unmixed so a one-epoch run reproduces the legacy
+// sequential helper exactly; later epochs decorrelate per (epoch, k).
+func (rt *Runtime) epochSeed(epoch, k int) int64 {
+	if epoch == 0 {
+		return rt.cfg.Params.Seed
+	}
+	return int64(hashMix(uint64(rt.cfg.Params.Seed), uint64(epoch), uint64(k)+0x5eed))
+}
+
+// live returns cluster k's reachable, powered sensor count.
+func (rt *Runtime) live(k int) int {
+	c := rt.clusters[k]
+	if c == nil {
+		return 0
+	}
+	return len(c.Reachable())
+}
+
+// clusterEpochOut is one worker's per-cluster product, aggregated
+// single-threaded after the barrier.
+type clusterEpochOut struct {
+	summary     *cluster.Summary
+	unreachable int
+	live        int
+	// energyUse[v] is sensor v's joules drawn this epoch (depletion).
+	energyUse []float64
+	err       error
+}
+
+// RunEpoch advances the field one epoch: every live cluster runs
+// Config.EpochCycles duty cycles (sharded by channel, workers bounded by
+// o), then the churn boundary injects faults and re-plans. The returned
+// Epoch carries the full per-cluster summaries; the compact row is also
+// appended to the runtime's Summary.
+func (rt *Runtime) RunEpoch(o exp.Options) (*Epoch, error) {
+	epoch := rt.epoch
+	p := rt.cfg.Params
+	cycles := rt.cfg.epochCycles()
+	outs := make([]clusterEpochOut, len(rt.clusters))
+
+	runCluster := func(k int) {
+		out := &outs[k]
+		c := rt.clusters[k]
+		if c == nil {
+			return // empty Voronoi cell: no head cycle to run
+		}
+		// Dark clusters (no live reachable sensor) still run: the head
+		// keeps broadcasting its wake/sleep cycle whether or not anyone
+		// answers, exactly as the retired sequential helper did.
+		out.live = rt.live(k)
+		pk := p
+		pk.Seed = rt.epochSeed(epoch, k)
+		r, err := cluster.NewRunner(c, pk)
+		if err != nil {
+			out.err = fmt.Errorf("field: cluster %d epoch %d: %w", k, epoch, err)
+			return
+		}
+		r.Obs = o.Obs
+		out.unreachable = len(r.Unreachable)
+		s, err := r.Run(cycles)
+		if err != nil {
+			out.err = fmt.Errorf("field: cluster %d epoch %d: %w", k, epoch, err)
+			return
+		}
+		out.summary = s
+		if rt.batteries != nil {
+			out.energyUse = epochEnergy(rt.em, s, cycles)
+		}
+	}
+
+	// Shard fan-out: same-channel clusters serialize (token rotation),
+	// different channels run concurrently. Per-cluster outputs land in
+	// index-addressed slots, so worker scheduling cannot reorder them.
+	workers := o.WorkerCount()
+	if workers > len(rt.shards) {
+		workers = len(rt.shards)
+	}
+	runShard := func(si int) {
+		start := time.Now()
+		for _, k := range rt.shards[si] {
+			runCluster(k)
+		}
+		if o.Obs != nil {
+			o.Obs.Observe(seriesShardSeconds(rt.shardChannel(si)), time.Since(start).Seconds())
+		}
+	}
+	if workers <= 1 {
+		for si := range rt.shards {
+			runShard(si)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for si := range next {
+					runShard(si)
+				}
+			}()
+		}
+		for si := range rt.shards {
+			next <- si
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Barrier passed: everything below is single-threaded, in cluster
+	// index order, so float aggregation is order-stable.
+	for k := range outs {
+		if outs[k].err != nil {
+			return nil, outs[k].err
+		}
+	}
+	ep := &Epoch{
+		Report:      EpochReport{Epoch: epoch},
+		Summaries:   make([]*cluster.Summary, len(rt.clusters)),
+		Unreachable: make([]int, len(rt.clusters)),
+	}
+	var duties []time.Duration
+	var dutyColors []int
+	for k := range rt.clusters {
+		out := &outs[k]
+		ep.Unreachable[k] = out.unreachable
+		if out.summary == nil {
+			continue
+		}
+		ep.Summaries[k] = out.summary
+		s := out.summary
+		ep.Report.Clusters = append(ep.Report.Clusters, ClusterEpoch{
+			Cluster:   k,
+			Channel:   rt.colors[k],
+			Live:      out.live,
+			Offered:   s.Offered,
+			Delivered: s.Delivered,
+			Retries:   s.Retries,
+			MeanDuty:  s.MeanDuty,
+			Fits:      s.AllFit,
+		})
+		duties = append(duties, s.MeanDuty)
+		dutyColors = append(dutyColors, rt.colors[k])
+		rt.sum.OfferedTotal += s.Offered
+		rt.sum.DeliveredTotal += s.Delivered
+		rt.sum.RetriesTotal += s.Retries
+	}
+	ep.Report.TokenCycle = cluster.TokenRotationCycle(duties)
+	colored, err := cluster.ColoredCycle(duties, dutyColors)
+	if err != nil {
+		return nil, err
+	}
+	ep.Report.ColoredCycle = colored
+
+	// The Fig. 7(c) steady-state lifetime estimate comes from the first
+	// epoch the field ran, before churn reshapes the load.
+	if epoch == 0 && rt.cfg.BatteryJoules > 0 {
+		rt.sum.Lifetime = rt.lifetimeEstimate(ep)
+	}
+
+	rt.churn(epoch, outs, &ep.Report)
+
+	rt.epoch++
+	rt.sum.Epochs = rt.epoch
+	rt.sum.Deaths = append(rt.sum.Deaths, ep.Report.Deaths...)
+	rt.sum.StrandedFinal = ep.Report.Stranded
+	rt.sum.ReplansTotal += ep.Report.Replans
+	if rt.sum.FirstDeath == 0 && len(ep.Report.Deaths) > 0 {
+		rt.sum.FirstDeath = time.Duration(rt.epoch*cycles) * p.Cycle
+	}
+	rt.sum.Reports = append(rt.sum.Reports, ep.Report)
+	if o.Obs != nil {
+		rt.emit(&ep.Report, o.Obs)
+	}
+	return ep, nil
+}
+
+// lifetimeEstimate is the min over running clusters (with at least one
+// live sensor) of the cluster's first-death time at the configured
+// battery — the legacy RunField Lifetime.
+func (rt *Runtime) lifetimeEstimate(ep *Epoch) time.Duration {
+	var min time.Duration
+	for k, s := range ep.Summaries {
+		if s == nil {
+			continue
+		}
+		c := rt.clusters[k]
+		if ep.Unreachable[k] >= c.Sensors() {
+			continue
+		}
+		lt := s.Lifetime(rt.em, rt.cfg.BatteryJoules)
+		if min == 0 || lt < min {
+			min = lt
+		}
+	}
+	return min
+}
+
+// epochEnergy integrates a cluster summary's mean per-cycle profiles over
+// the epoch: sensor v's battery drain in joules.
+func epochEnergy(m energy.Model, s *cluster.Summary, cycles int) []float64 {
+	out := make([]float64, len(s.MeanProfiles))
+	for v := 1; v < len(s.MeanProfiles); v++ {
+		p := s.MeanProfiles[v]
+		perCycle := m.Energy(energy.Tx, p.InTx) + m.Energy(energy.Rx, p.InRx) +
+			m.Energy(energy.Idle, p.InIdle) + m.Energy(energy.Sleep, p.SleepTime())
+		out[v] = perCycle * float64(cycles)
+	}
+	return out
+}
+
+// Run executes epochs until Config.Epochs is reached, checking the
+// Options context between epochs (the issue-level cancellation contract:
+// a canceled context stops the field at the next boundary and returns
+// the context's error). Resumed runtimes continue from their snapshot
+// epoch. The returned Summary is owned by the runtime.
+func (rt *Runtime) Run(o exp.Options) (*Summary, error) {
+	ctx := o.Context()
+	for rt.epoch < rt.cfg.epochs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := rt.RunEpoch(o); err != nil {
+			return nil, err
+		}
+	}
+	return &rt.sum, nil
+}
+
+// hashMix folds the parts into one splitmix64-style hash. Pure function
+// of its arguments — the determinism contract rests on every random draw
+// flowing through here with (seed, epoch, cluster, salt) coordinates.
+func hashMix(parts ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h ^= p
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
+// hashUnit maps a hash to [0, 1).
+func hashUnit(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

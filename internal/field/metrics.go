@@ -1,0 +1,74 @@
+package field
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Field-level metric families, emitted into exp.Options.Obs on top of the
+// per-cluster series every cluster.Runner already reports.
+const (
+	// MetricEpochs counts completed field epochs.
+	MetricEpochs = "field_epochs_total"
+	// MetricReplans counts per-cluster re-planning events (a cluster
+	// whose topology changed at an epoch boundary and was re-planned).
+	MetricReplans = "field_replans_total"
+	// MetricStranded gauges live sensors with no relaying path to their
+	// head after the latest boundary.
+	MetricStranded = "field_stranded_sensors"
+	// MetricDeaths counts sensor deaths, labeled cause="battery"|"fault".
+	MetricDeaths = "field_deaths_total"
+	// MetricClustersLive gauges clusters that ran in the latest epoch.
+	MetricClustersLive = "field_clusters_live"
+	// MetricShardSeconds is a histogram of per-epoch shard wall-clock,
+	// labeled channel="<color>".
+	MetricShardSeconds = "field_shard_seconds"
+)
+
+var (
+	seriesDeathBattery = obs.Series(MetricDeaths, "cause", "battery")
+	seriesDeathFault   = obs.Series(MetricDeaths, "cause", "fault")
+)
+
+// seriesShardSeconds names a channel's wall-clock histogram.
+func seriesShardSeconds(channel int) string {
+	return obs.Series(MetricShardSeconds, "channel", strconv.Itoa(channel))
+}
+
+// shardChannel returns the radio channel shard si serializes.
+func (rt *Runtime) shardChannel(si int) int {
+	return rt.colors[rt.shards[si][0]]
+}
+
+// RegisterMetrics pre-registers the field series in reg with help text.
+// As everywhere in the repo, emission works without it; registering makes
+// the exposition self-describing. Channel-labeled shard histograms for
+// channels 0..5 are pre-registered (the coloring never uses more than 6).
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Counter(MetricEpochs, "completed field epochs")
+	reg.Counter(MetricReplans, "per-cluster re-planning events after churn")
+	reg.Gauge(MetricStranded, "live sensors with no relaying path after the latest boundary")
+	reg.Counter(seriesDeathBattery, "sensor deaths")
+	reg.Counter(seriesDeathFault, "sensor deaths")
+	reg.Gauge(MetricClustersLive, "clusters that ran in the latest epoch")
+	for ch := 0; ch < 6; ch++ {
+		reg.Histogram(seriesShardSeconds(ch), "per-epoch shard wall-clock in seconds", nil)
+	}
+}
+
+// emit publishes one epoch report. Called once per epoch, after the
+// barrier, only when an observer is configured.
+func (rt *Runtime) emit(rep *EpochReport, o obs.Observer) {
+	o.Add(MetricEpochs, 1)
+	o.Add(MetricReplans, float64(rep.Replans))
+	o.Set(MetricStranded, float64(rep.Stranded))
+	o.Set(MetricClustersLive, float64(len(rep.Clusters)))
+	for _, d := range rep.Deaths {
+		if d.Cause == "battery" {
+			o.Add(seriesDeathBattery, 1)
+		} else {
+			o.Add(seriesDeathFault, 1)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package field
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/topo"
+)
+
+// SnapshotVersion is the checkpoint format version. Bump it whenever the
+// Snapshot layout or the runtime semantics it freezes change.
+const SnapshotVersion = 1
+
+// Snapshot is an epoch-boundary checkpoint: together with the (field,
+// Config) pair it was taken from, it is sufficient to resume the run.
+// Epochs are closed units — cluster runtimes are rebuilt at boundaries
+// from (seed, epoch, cluster) and every churn draw is a pure hash — so
+// the boundary state is exactly: who is dead, how much battery remains,
+// which shadow revision is installed, and the aggregate so far.
+type Snapshot struct {
+	Version int `json:"version"`
+	// FieldHash fingerprints the deployment (topo.Field.Fingerprint);
+	// Resume rejects a different field.
+	FieldHash string `json:"field_hash"`
+	// Epoch is the number of completed epochs.
+	Epoch int `json:"epoch"`
+	// ShadowRev is the current shadowing-table revision (0 = pristine).
+	ShadowRev int `json:"shadow_rev"`
+	// Batteries holds remaining joules per cluster per node (index 0 is
+	// the mains-powered head), nil when depletion is disabled.
+	Batteries [][]float64 `json:"batteries,omitempty"`
+	// Dead lists dead sensors per cluster, ascending.
+	Dead [][]int `json:"dead"`
+	// Summary is the aggregate accumulated through Epoch.
+	Summary *Summary `json:"summary"`
+}
+
+// Snapshot captures the runtime's current epoch-boundary state. Call it
+// between epochs (after New, after any RunEpoch, or after a canceled
+// Run); the snapshot deep-copies, so later epochs do not mutate it.
+func (rt *Runtime) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Version:   SnapshotVersion,
+		FieldHash: fmt.Sprintf("%016x", rt.f.Fingerprint()),
+		Epoch:     rt.epoch,
+		ShadowRev: rt.shadowRev,
+		Dead:      make([][]int, len(rt.clusters)),
+	}
+	if rt.batteries != nil {
+		s.Batteries = make([][]float64, len(rt.batteries))
+		for k, b := range rt.batteries {
+			s.Batteries[k] = append([]float64(nil), b...)
+		}
+	}
+	for k, d := range rt.dead {
+		dead := []int{}
+		for v, isDead := range d {
+			if isDead {
+				dead = append(dead, v)
+			}
+		}
+		s.Dead[k] = dead
+	}
+	sum := rt.sum
+	sum.Colors = append([]int(nil), rt.sum.Colors...)
+	sum.Deaths = append([]Death(nil), rt.sum.Deaths...)
+	sum.Reports = append([]EpochReport(nil), rt.sum.Reports...)
+	s.Summary = &sum
+	return s
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot written by WriteJSON.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("field: bad snapshot: %w", err)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("field: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	return &s, nil
+}
+
+// Resume reconstructs a runtime at the snapshot's epoch boundary. The
+// caller supplies the same field and Config the snapshot was taken under
+// (the snapshot stores derived state only); the field is validated by
+// fingerprint. Run on the resumed runtime continues to Config.Epochs and
+// produces the same final Summary as an uninterrupted run.
+func Resume(f *topo.Field, cfg Config, s *Snapshot) (*Runtime, error) {
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("field: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	if got := fmt.Sprintf("%016x", f.Fingerprint()); got != s.FieldHash {
+		return nil, fmt.Errorf("field: snapshot is from field %s, resuming %s", s.FieldHash, got)
+	}
+	rt, err := New(f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Dead) != len(rt.clusters) {
+		return nil, fmt.Errorf("field: snapshot has %d clusters, field has %d", len(s.Dead), len(rt.clusters))
+	}
+	if (s.Batteries != nil) != (rt.batteries != nil) {
+		return nil, fmt.Errorf("field: snapshot and config disagree on battery accounting")
+	}
+	// Re-apply deaths (order-independent: each is a power zeroing plus a
+	// rebuild), restore batteries, then re-install the shadow revision.
+	for k, dead := range s.Dead {
+		for _, v := range dead {
+			if rt.clusters[k] == nil || v < 1 || v > rt.clusters[k].Sensors() {
+				return nil, fmt.Errorf("field: snapshot kills sensor %d of cluster %d, out of range", v, k)
+			}
+			rt.kill(k, v)
+		}
+	}
+	if s.Batteries != nil {
+		for k := range rt.batteries {
+			if len(s.Batteries[k]) != len(rt.batteries[k]) {
+				return nil, fmt.Errorf("field: snapshot batteries for cluster %d: %d nodes, want %d",
+					k, len(s.Batteries[k]), len(rt.batteries[k]))
+			}
+			copy(rt.batteries[k], s.Batteries[k])
+		}
+	}
+	rt.shadowRev = s.ShadowRev
+	rt.applyShadow()
+	rt.epoch = s.Epoch
+	if s.Summary != nil {
+		rt.sum = *s.Summary
+	}
+	return rt, nil
+}

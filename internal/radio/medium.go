@@ -64,6 +64,12 @@ func (m *Medium) SetTxPower(i int, watts float64) {
 // TxPower returns node i's transmit power in watts.
 func (m *Medium) TxPower(i int) float64 { return m.txPower[m.checkNode(i)] }
 
+// Prop returns the propagation model the medium was built with. Mutating
+// the returned model (e.g. installing a new ShadowDB on a LogDistance)
+// leaves the cached power matrix stale until Refresh is called, and must
+// not race with queries.
+func (m *Medium) Prop() Propagation { return m.prop }
+
 // Refresh rebuilds the whole received-power cache from the propagation
 // model. It is only needed when the model itself is mutated after the
 // Medium is built (e.g. installing a ShadowDB on a shared LogDistance);

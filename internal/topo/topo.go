@@ -178,6 +178,17 @@ func (c *Cluster) MarkFailed(v int) {
 	c.rebuildGraph()
 }
 
+// RefreshConnectivity recomputes the received-power cache from the
+// (possibly mutated) propagation model and rebuilds the connectivity
+// graph and hop levels — the companion to MarkFailed for environmental
+// churn. Callers mutate the propagation model in place (e.g. install a
+// new ShadowDB on a shared LogDistance) and then call this; failed
+// sensors stay failed because their transmit power remains zero.
+func (c *Cluster) RefreshConnectivity() {
+	c.Med.Refresh()
+	c.rebuildGraph()
+}
+
 // Reachable returns the sensors that currently have a relaying path to
 // the head, ascending.
 func (c *Cluster) Reachable() []int {
@@ -346,6 +357,40 @@ func BuildField(seed int64, side float64, heads, sensors int) *Field {
 	}
 	f.Assign = geom.VoronoiAssign(f.Sensors, f.Heads)
 	return f
+}
+
+// Fingerprint returns a deterministic hash of the field's geometry and
+// Voronoi assignment. Checkpoints of a field simulation store it so a
+// resume against a different deployment is rejected instead of silently
+// producing garbage.
+func (f *Field) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037 // FNV-1a
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	point := func(p geom.Point) {
+		mix(math.Float64bits(p.X))
+		mix(math.Float64bits(p.Y))
+	}
+	mix(uint64(len(f.Heads)))
+	for _, p := range f.Heads {
+		point(p)
+	}
+	mix(uint64(len(f.Sensors)))
+	for _, p := range f.Sensors {
+		point(p)
+	}
+	for _, a := range f.Assign {
+		mix(uint64(uint32(a)))
+	}
+	return h
 }
 
 // BuildCluster materializes field cluster k as a Cluster: the head at its
