@@ -22,9 +22,8 @@ import (
 // figure and ablation entry point. The zero value is ready to use: all
 // CPUs, background context, no metrics.
 type Options struct {
-	// Workers bounds the worker pool; 0 means runtime.NumCPU() (after
-	// consulting the deprecated package-level Workers shim) and 1 runs
-	// the sweep inline with no goroutines.
+	// Workers bounds the worker pool; 0 means runtime.NumCPU() and 1
+	// runs the sweep inline with no goroutines.
 	Workers int
 	// Ctx, when non-nil, cancels the sweep between cells: no new cell
 	// starts after Ctx is done and Sweep returns Ctx.Err().
@@ -44,23 +43,15 @@ const (
 	MetricCellsTotal = "exp_cells_total"
 )
 
-// Workers is the legacy package-wide worker-pool default.
-//
-// Deprecated: Workers is an unsynchronized global kept for one release as
-// a shim (cmd/experiments -workers used to set it); it is consulted only
-// when Options.Workers is zero. Set Options.Workers instead.
-var Workers int
-
-// WorkerCount resolves the pool size: Options.Workers wins, then the
-// deprecated Workers global (the compatibility shim), then NumCPU. Other
-// runtimes that bound their own pools by Options (e.g. the field runtime's
-// shard workers) resolve through this so every consumer agrees.
+// WorkerCount resolves the pool size: Options.Workers wins, then NumCPU.
+// Other runtimes that bound their own pools by Options (e.g. the field
+// runtime's shard workers) resolve through this so every consumer agrees.
+// (The unsynchronized package-level Workers shim that used to be consulted
+// between the two was deprecated for one release and is gone; pass
+// Options.Workers.)
 func (o Options) WorkerCount() int {
 	if o.Workers > 0 {
 		return o.Workers
-	}
-	if Workers > 0 {
-		return Workers
 	}
 	return runtime.NumCPU()
 }

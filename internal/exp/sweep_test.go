@@ -89,31 +89,6 @@ func TestSweepWorkersExceedCells(t *testing.T) {
 	}
 }
 
-func TestSweepDeprecatedWorkersShim(t *testing.T) {
-	// The deprecated global is consulted only when Options.Workers is
-	// zero; cmd/experiments' old -workers path still works through it.
-	Workers = 1
-	defer func() { Workers = 0 }()
-	var ran atomic.Int32
-	_, err := Sweep(Options{}, 10, func(i int) (int, error) {
-		ran.Add(1)
-		if i == 2 {
-			return 0, errors.New("stop")
-		}
-		return i, nil
-	})
-	if err == nil {
-		t.Fatal("want error")
-	}
-	// Only a sequential (one-worker) sweep stops after exactly 3 cells.
-	if ran.Load() != 3 {
-		t.Fatalf("shim ignored: ran %d cells, want 3", ran.Load())
-	}
-	if (Options{Workers: 2}).WorkerCount() != 2 {
-		t.Fatal("Options.Workers must win over the deprecated global")
-	}
-}
-
 func TestSweepContextCancel(t *testing.T) {
 	// Pre-canceled context: no cell runs, the context's error surfaces.
 	ctx, cancel := context.WithCancel(context.Background())
@@ -151,9 +126,9 @@ func TestSweepContextCancel(t *testing.T) {
 }
 
 // TestSweepConcurrentOptions is the regression test for the old data race:
-// two sweeps with different worker counts used to fight over the exp.Workers
-// package global. With per-call Options they run concurrently race-free
-// (this test is in the -race CI matrix).
+// two sweeps with different worker counts used to fight over a package
+// global (the since-removed exp.Workers). With per-call Options they run
+// concurrently race-free (this test is in the -race CI matrix).
 func TestSweepConcurrentOptions(t *testing.T) {
 	done := make(chan error, 2)
 	for _, workers := range []int{1, 4} {

@@ -88,6 +88,13 @@ type Config struct {
 	Epochs int
 	// Churn is the fault-injection configuration.
 	Churn Churn
+	// OnEpoch, when non-nil, is invoked once per completed epoch with
+	// that epoch's report, after the shard barrier and churn boundary,
+	// from the goroutine driving RunEpoch. The report is the same value
+	// appended to the Summary; callbacks must not retain it past the
+	// call if they mutate it. The hook is observational only — it cannot
+	// influence the run, so the determinism contract is unaffected.
+	OnEpoch func(*EpochReport)
 }
 
 // epochCycles resolves the per-epoch cycle count.
@@ -249,7 +256,7 @@ type Runtime struct {
 	f        *topo.Field
 	cfg      Config
 	em       energy.Model
-	colors   []int   // per field cluster
+	colors   []int // per field cluster
 	channels int
 	shards   [][]int // shard -> ascending cluster indices, ordered by channel
 
@@ -516,6 +523,9 @@ func (rt *Runtime) RunEpoch(o exp.Options) (*Epoch, error) {
 	rt.sum.Reports = append(rt.sum.Reports, ep.Report)
 	if o.Obs != nil {
 		rt.emit(&ep.Report, o.Obs)
+	}
+	if rt.cfg.OnEpoch != nil {
+		rt.cfg.OnEpoch(&ep.Report)
 	}
 	return ep, nil
 }

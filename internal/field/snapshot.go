@@ -2,8 +2,11 @@ package field
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"repro/internal/topo"
 )
@@ -11,6 +14,21 @@ import (
 // SnapshotVersion is the checkpoint format version. Bump it whenever the
 // Snapshot layout or the runtime semantics it freezes change.
 const SnapshotVersion = 1
+
+// Sentinel errors for snapshot decoding and resumption. They are wrapped
+// (never returned bare), so match with errors.Is.
+var (
+	// ErrSnapshotCorrupt marks a snapshot that does not decode: truncated
+	// files, invalid JSON, or an empty input.
+	ErrSnapshotCorrupt = errors.New("snapshot corrupt")
+	// ErrSnapshotVersion marks a snapshot whose format version differs
+	// from SnapshotVersion.
+	ErrSnapshotVersion = errors.New("snapshot version mismatch")
+	// ErrSnapshotMismatch marks a snapshot that decodes but does not fit
+	// the field/Config it is being resumed under (wrong deployment
+	// fingerprint, cluster count, or battery mode).
+	ErrSnapshotMismatch = errors.New("snapshot does not match field")
+)
 
 // Snapshot is an epoch-boundary checkpoint: together with the (field,
 // Config) pair it was taken from, it is sufficient to resume the run.
@@ -77,16 +95,66 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
-// ReadSnapshot parses a snapshot written by WriteJSON.
+// WriteFile atomically persists the snapshot at path: the JSON is written
+// to a temporary file in the same directory, synced, and renamed over the
+// destination. A crash mid-write therefore leaves either the previous
+// checkpoint or the new one, never a torn half-checkpoint (ReadSnapshot
+// would report the torn file as ErrSnapshotCorrupt, and the run's crash
+// recovery would lose the boundary — atomicity keeps the guarantee
+// structural instead).
+func (s *Snapshot) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("field: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := s.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("field: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("field: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("field: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("field: install snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot written by WriteJSON. Decode failures —
+// invalid JSON, a truncated file, empty input — come back wrapped as
+// ErrSnapshotCorrupt; a decodable snapshot of another format version as
+// ErrSnapshotVersion. Both match with errors.Is.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	var s Snapshot
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("field: bad snapshot: %w", err)
+		// io.EOF (empty input) and io.ErrUnexpectedEOF (truncation) are
+		// corruption here just like a syntax error: the checkpoint is
+		// unusable either way.
+		return nil, fmt.Errorf("field: %w: %v", ErrSnapshotCorrupt, err)
 	}
 	if s.Version != SnapshotVersion {
-		return nil, fmt.Errorf("field: snapshot version %d, want %d", s.Version, SnapshotVersion)
+		return nil, fmt.Errorf("field: %w: got %d, want %d", ErrSnapshotVersion, s.Version, SnapshotVersion)
 	}
 	return &s, nil
+}
+
+// ReadSnapshotFile reads a snapshot from path (see ReadSnapshot for the
+// error contract; os.Open failures are returned unwrapped so callers can
+// distinguish a missing checkpoint from a corrupt one via os.IsNotExist /
+// errors.Is(err, os.ErrNotExist)).
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
 }
 
 // Resume reconstructs a runtime at the snapshot's epoch boundary. The
@@ -96,27 +164,27 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 // produces the same final Summary as an uninterrupted run.
 func Resume(f *topo.Field, cfg Config, s *Snapshot) (*Runtime, error) {
 	if s.Version != SnapshotVersion {
-		return nil, fmt.Errorf("field: snapshot version %d, want %d", s.Version, SnapshotVersion)
+		return nil, fmt.Errorf("field: %w: got %d, want %d", ErrSnapshotVersion, s.Version, SnapshotVersion)
 	}
 	if got := fmt.Sprintf("%016x", f.Fingerprint()); got != s.FieldHash {
-		return nil, fmt.Errorf("field: snapshot is from field %s, resuming %s", s.FieldHash, got)
+		return nil, fmt.Errorf("field: %w: snapshot is from field %s, resuming %s", ErrSnapshotMismatch, s.FieldHash, got)
 	}
 	rt, err := New(f, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if len(s.Dead) != len(rt.clusters) {
-		return nil, fmt.Errorf("field: snapshot has %d clusters, field has %d", len(s.Dead), len(rt.clusters))
+		return nil, fmt.Errorf("field: %w: snapshot has %d clusters, field has %d", ErrSnapshotMismatch, len(s.Dead), len(rt.clusters))
 	}
 	if (s.Batteries != nil) != (rt.batteries != nil) {
-		return nil, fmt.Errorf("field: snapshot and config disagree on battery accounting")
+		return nil, fmt.Errorf("field: %w: snapshot and config disagree on battery accounting", ErrSnapshotMismatch)
 	}
 	// Re-apply deaths (order-independent: each is a power zeroing plus a
 	// rebuild), restore batteries, then re-install the shadow revision.
 	for k, dead := range s.Dead {
 		for _, v := range dead {
 			if rt.clusters[k] == nil || v < 1 || v > rt.clusters[k].Sensors() {
-				return nil, fmt.Errorf("field: snapshot kills sensor %d of cluster %d, out of range", v, k)
+				return nil, fmt.Errorf("field: %w: snapshot kills sensor %d of cluster %d, out of range", ErrSnapshotMismatch, v, k)
 			}
 			rt.kill(k, v)
 		}
@@ -124,8 +192,8 @@ func Resume(f *topo.Field, cfg Config, s *Snapshot) (*Runtime, error) {
 	if s.Batteries != nil {
 		for k := range rt.batteries {
 			if len(s.Batteries[k]) != len(rt.batteries[k]) {
-				return nil, fmt.Errorf("field: snapshot batteries for cluster %d: %d nodes, want %d",
-					k, len(s.Batteries[k]), len(rt.batteries[k]))
+				return nil, fmt.Errorf("field: %w: snapshot batteries for cluster %d: %d nodes, want %d",
+					ErrSnapshotMismatch, k, len(s.Batteries[k]), len(rt.batteries[k]))
 			}
 			copy(rt.batteries[k], s.Batteries[k])
 		}

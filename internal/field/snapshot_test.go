@@ -1,0 +1,135 @@
+package field
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// snapshotFixture runs one epoch of the churn field and returns the
+// runtime plus its serialized snapshot bytes.
+func snapshotFixture(t *testing.T) (*Runtime, []byte) {
+	t.Helper()
+	f, cfg := buildChurnField()
+	rt, err := New(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunEpoch(exp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rt.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rt, buf.Bytes()
+}
+
+func TestReadSnapshotCorruptSentinels(t *testing.T) {
+	_, good := snapshotFixture(t)
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrSnapshotCorrupt},
+		{"garbage", []byte("not json at all"), ErrSnapshotCorrupt},
+		{"truncated", good[:len(good)/2], ErrSnapshotCorrupt},
+		{"wrong type", []byte(`{"version":"one"}`), ErrSnapshotCorrupt},
+		{"future version", []byte(`{"version":99}`), ErrSnapshotVersion},
+		{"zero version", []byte(`{}`), ErrSnapshotVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSnapshot(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("ReadSnapshot accepted a bad snapshot")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+
+	// The good bytes still round-trip.
+	if _, err := ReadSnapshot(bytes.NewReader(good)); err != nil {
+		t.Fatalf("good snapshot rejected: %v", err)
+	}
+}
+
+func TestResumeMismatchSentinel(t *testing.T) {
+	_, raw := snapshotFixture(t)
+	snap, err := ReadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, cfg := buildChurnField()
+	noBatt := cfg
+	noBatt.BatteryJoules = 0
+	if _, err := Resume(f, noBatt, snap); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("battery disagreement error %v, want ErrSnapshotMismatch", err)
+	}
+	bad := *snap
+	bad.Version = SnapshotVersion + 1
+	if _, err := Resume(f, cfg, &bad); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("version error %v, want ErrSnapshotVersion", err)
+	}
+}
+
+func TestSnapshotWriteFileAtomic(t *testing.T) {
+	rt, want := snapshotFixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.json")
+
+	// Pre-existing stale content is replaced wholesale, not appended to
+	// or left torn.
+	if err := os.WriteFile(path, []byte("stale garbage that is much longer than the real checkpoint would ever"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Snapshot().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("WriteFile content differs from WriteJSON:\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+
+	// No temp debris may survive a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+
+	// And the installed file reads back as a valid snapshot.
+	snap, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != rt.Epoch() {
+		t.Fatalf("reloaded epoch %d, want %d", snap.Epoch, rt.Epoch())
+	}
+}
+
+func TestReadSnapshotFileMissing(t *testing.T) {
+	_, err := ReadSnapshotFile(filepath.Join(t.TempDir(), "nope.json"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file error %v, want os.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatal("missing file must not read as corruption")
+	}
+}

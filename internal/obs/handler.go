@@ -1,0 +1,29 @@
+package obs
+
+import "net/http"
+
+// contentTypeText is the Prometheus text exposition content type the
+// scrape endpoint advertises (format version 0.0.4).
+const contentTypeText = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler that serves a point-in-time snapshot of
+// the registry in the Prometheus text exposition format — the /metrics
+// endpoint of a long-running process. Scrapes are safe concurrently with
+// any amount of recording: Snapshot reads every series through the same
+// atomics the emitters update, so a scrape observes a consistent
+// per-series value without stalling the hot path.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", contentTypeText)
+		if req.Method == http.MethodHead {
+			return
+		}
+		// Errors past the header are client disconnects; nothing to do.
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentScrapeWhileRecording is the registry's concurrency probe:
+// writer goroutines hammer counters, gauges and histograms through a
+// RegistryObserver (including first-use creation of new series) while
+// reader goroutines continuously render JSON and Prometheus snapshots and
+// scrape the HTTP handler. Run under -race; correctness here is "no race,
+// no panic, every snapshot internally consistent".
+func TestConcurrentScrapeWhileRecording(t *testing.T) {
+	reg := NewRegistry()
+	o := reg.Observer()
+
+	const (
+		writers    = 4
+		scrapers   = 3
+		iterations = 400
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iterations; i++ {
+				o.Add("svc_ops_total", 1)
+				o.Add(Series("svc_ops_by_worker_total", "worker", fmt.Sprint(w)), 1)
+				o.Set("svc_inflight", float64(i%7))
+				o.Observe("svc_op_seconds", float64(i%10)/1000)
+				if i%50 == 0 {
+					// Fresh series mid-flight: exercises the registry's
+					// get-or-create path racing the snapshot path.
+					o.Add(Series("svc_lazy_total", "i", fmt.Sprint(w*iterations+i)), 1)
+				}
+			}
+		}(w)
+	}
+
+	handler := reg.Handler()
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iterations/4; i++ {
+				var buf bytes.Buffer
+				if err := reg.WriteJSON(&buf); err != nil {
+					t.Errorf("WriteJSON: %v", err)
+					return
+				}
+				buf.Reset()
+				if err := reg.WritePrometheus(&buf); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				if rec.Code != 200 {
+					t.Errorf("scrape status %d", rec.Code)
+					return
+				}
+				if _, err := io.Copy(io.Discard, rec.Result().Body); err != nil {
+					t.Errorf("drain scrape: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	close(start)
+	wg.Wait()
+
+	// After the storm settles, totals must be exact: atomics lost nothing.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantOps := fmt.Sprintf("svc_ops_total %d\n", writers*iterations)
+	if !bytes.Contains(buf.Bytes(), []byte(wantOps)) {
+		t.Fatalf("final exposition missing %q:\n%s", wantOps, buf.String())
+	}
+	wantHist := fmt.Sprintf("svc_op_seconds_count %d\n", writers*iterations)
+	if !bytes.Contains(buf.Bytes(), []byte(wantHist)) {
+		t.Fatalf("final exposition missing %q", wantHist)
+	}
+}

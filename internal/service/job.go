@@ -1,0 +1,147 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position. The machine is strictly forward:
+//
+//	queued → running → done | failed | cancelled
+//	          └──────── (daemon killed) ────────┐
+//	queued ←────────────────────────────────────┘  (re-queued on restart)
+//
+// The only backward edge is crash recovery: a job whose manifest says
+// running when the daemon starts was interrupted, and goes back to
+// queued with its checkpoint intact.
+type State string
+
+// Job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submitted simulation. The struct doubles as the spool
+// manifest: everything needed to re-queue and resume the job after a
+// crash serializes from here (the Result lives in its own spool file to
+// keep manifests cheap to rewrite every epoch).
+type Job struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+
+	// Epoch counts completed (checkpointed) epochs; Epochs is the
+	// target. Both stay 0 for sweep jobs, which have no boundary to
+	// report progress at.
+	Epoch  int `json:"epoch"`
+	Epochs int `json:"epochs,omitempty"`
+
+	// Attempts counts the times a worker picked the job up. 1 means it
+	// never got interrupted; each crash-recovery re-queue adds one.
+	Attempts int `json:"attempts"`
+
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+
+	// Result is the terminal payload (field.Summary or sweepResult
+	// JSON). Populated in job detail responses; omitted from list
+	// responses and manifests.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// newJobID returns a 16-hex-char random identifier.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the OS entropy pool is gone; there
+		// is no meaningful degraded mode for ID generation.
+		panic(fmt.Sprintf("service: entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// store is the in-memory job table. All Job structs inside are owned by
+// the store; accessors hand out copies so readers never race the runner's
+// mutations. The spool, not the store, is the durable source of truth —
+// the store is rebuilt from it on startup.
+type store struct {
+	mu   sync.Mutex
+	jobs map[string]*Job
+}
+
+func newStore() *store {
+	return &store{jobs: make(map[string]*Job)}
+}
+
+// put inserts or replaces a job.
+func (st *store) put(j *Job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.jobs[j.ID] = j
+}
+
+// delete removes a job (submission rollback only).
+func (st *store) delete(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.jobs, id)
+}
+
+// get returns a copy of the job.
+func (st *store) get(id string) (Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// list returns copies of every job, oldest first (ties broken by ID so
+// the order is total and stable).
+func (st *store) list() []Job {
+	st.mu.Lock()
+	out := make([]Job, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		out = append(out, *j)
+	}
+	st.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Created.Equal(out[k].Created) {
+			return out[i].Created.Before(out[k].Created)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// update applies fn to the job under the store lock and returns a copy of
+// the result. fn sees and may mutate the store's canonical struct.
+func (st *store) update(id string, fn func(*Job)) (Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	fn(j)
+	return *j, true
+}

@@ -1,0 +1,58 @@
+package service
+
+import "repro/internal/obs"
+
+// Service-level metric families, on top of whatever the jobs themselves
+// emit (field_*, cluster_*, exp_* series all land in the same registry
+// when the daemon wires one observer through everything).
+const (
+	// MetricJobsSubmitted counts accepted job submissions.
+	MetricJobsSubmitted = "service_jobs_submitted_total"
+	// MetricJobsFinished counts terminal transitions, labeled
+	// state="done"|"failed"|"cancelled".
+	MetricJobsFinished = "service_jobs_finished_total"
+	// MetricJobsRunning gauges jobs currently executing.
+	MetricJobsRunning = "service_jobs_running"
+	// MetricQueueDepth gauges jobs waiting in the FIFO queue.
+	MetricQueueDepth = "service_queue_depth"
+	// MetricJobSeconds is a histogram of per-attempt wall-clock seconds.
+	MetricJobSeconds = "service_job_seconds"
+	// MetricCheckpoints counts epoch-boundary checkpoints written.
+	MetricCheckpoints = "service_checkpoints_total"
+	// MetricResumes counts field jobs resumed from a spooled checkpoint.
+	MetricResumes = "service_resumes_total"
+	// MetricHTTPRequests counts API requests, labeled code="<status>".
+	MetricHTTPRequests = "service_http_requests_total"
+)
+
+var (
+	seriesJobsDone      = obs.Series(MetricJobsFinished, "state", string(StateDone))
+	seriesJobsFailed    = obs.Series(MetricJobsFinished, "state", string(StateFailed))
+	seriesJobsCancelled = obs.Series(MetricJobsFinished, "state", string(StateCancelled))
+)
+
+// finishedSeries maps a terminal state to its counter series.
+func finishedSeries(s State) string {
+	switch s {
+	case StateDone:
+		return seriesJobsDone
+	case StateFailed:
+		return seriesJobsFailed
+	default:
+		return seriesJobsCancelled
+	}
+}
+
+// RegisterMetrics pre-registers the service series with help text;
+// emission works without it, registering makes /metrics self-describing.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Counter(MetricJobsSubmitted, "accepted job submissions")
+	reg.Counter(seriesJobsDone, "terminal job transitions")
+	reg.Counter(seriesJobsFailed, "terminal job transitions")
+	reg.Counter(seriesJobsCancelled, "terminal job transitions")
+	reg.Gauge(MetricJobsRunning, "jobs currently executing")
+	reg.Gauge(MetricQueueDepth, "jobs waiting in the FIFO queue")
+	reg.Histogram(MetricJobSeconds, "per-attempt job wall-clock in seconds", nil)
+	reg.Counter(MetricCheckpoints, "epoch-boundary checkpoints written")
+	reg.Counter(MetricResumes, "field jobs resumed from a spooled checkpoint")
+}

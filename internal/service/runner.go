@@ -1,0 +1,552 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/field"
+	"repro/internal/obs"
+)
+
+// ErrQueueFull is returned by Submit when the FIFO queue has no free
+// slot; the HTTP layer translates it to 429 with Retry-After.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrStopped is returned by Submit after Stop has begun.
+var ErrStopped = errors.New("service: manager stopped")
+
+// ErrNotFound is returned for operations on unknown job IDs.
+var ErrNotFound = errors.New("service: no such job")
+
+// ErrJobDone is returned by Cancel on a job already in a terminal state.
+var ErrJobDone = errors.New("service: job already finished")
+
+// Config configures a Manager.
+type Config struct {
+	// SpoolDir is the durable state directory (required).
+	SpoolDir string
+	// Workers is the number of jobs executing concurrently; 0 means 1.
+	// Parallelism inside a job is the job spec's Workers field.
+	Workers int
+	// QueueDepth bounds the FIFO queue (jobs queued but not running);
+	// 0 means 64. Submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// Obs receives service- and job-level metrics; nil disables.
+	Obs obs.Observer
+	// Log receives request and lifecycle logging; nil discards.
+	Log *log.Logger
+}
+
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth < 1 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+// Manager owns the job table, the FIFO queue and the worker pool. One
+// Manager per spool directory per process; New recovers the spool's
+// jobs, Start launches the workers, Stop drains them.
+type Manager struct {
+	spool *Spool
+	store *store
+	obs   obs.Observer
+	log   *log.Logger
+
+	queue   chan string
+	running atomic.Int64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	stopped  bool
+	started  bool
+	poolSize int
+	cancels  map[string]context.CancelFunc
+	feeds    map[string]*feed
+
+	// requeue holds the IDs recovery found interrupted, enqueued (in
+	// crash-surviving FIFO order) by Start.
+	requeue []string
+}
+
+// New opens the spool, recovers its jobs into the store and prepares the
+// worker pool (not yet running — call Start). Interrupted jobs (queued
+// or running at crash time) come back queued, oldest first, with their
+// checkpoints intact. Corrupt per-job manifests are logged and skipped.
+func New(cfg Config) (*Manager, error) {
+	sp, err := OpenSpool(cfg.SpoolDir)
+	if err != nil {
+		return nil, err
+	}
+	lg := cfg.Log
+	if lg == nil {
+		lg = log.New(io.Discard, "", 0)
+	}
+	jobs, requeue, errs := sp.Recover()
+	for _, e := range errs {
+		lg.Printf("spool recovery: %v", e)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		spool:      sp,
+		store:      newStore(),
+		obs:        cfg.Obs,
+		log:        lg,
+		queue:      make(chan string, cfg.queueDepth()+len(requeue)),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		cancels:    make(map[string]context.CancelFunc),
+		feeds:      make(map[string]*feed),
+		requeue:    requeue,
+		poolSize:   cfg.workers(),
+	}
+	for _, j := range jobs {
+		m.store.put(j)
+	}
+	return m, nil
+}
+
+// Start enqueues the recovered jobs and launches the worker pool.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	if m.started || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	n := m.poolSize
+	requeue := m.requeue
+	m.requeue = nil
+	m.mu.Unlock()
+
+	for _, id := range requeue {
+		m.log.Printf("job %s: re-queued after restart", id)
+		m.queue <- id // capacity reserved at construction
+	}
+	m.gaugeQueueDepth()
+	for w := 0; w < n; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+}
+
+// Submit validates the spec, durably records the job and enqueues it.
+func (m *Manager) Submit(spec Spec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	j := &Job{
+		ID:      newJobID(),
+		Spec:    spec,
+		State:   StateQueued,
+		Created: time.Now().UTC(),
+	}
+	if spec.Type == TypeField {
+		j.Epochs = spec.Field.epochs()
+	}
+
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return Job{}, ErrStopped
+	}
+	m.mu.Unlock()
+
+	// Durable before runnable: the manifest hits disk before the ID can
+	// reach a worker, so a crash between the two re-queues the job
+	// instead of losing it.
+	m.store.put(j)
+	if err := m.spool.SaveManifest(j); err != nil {
+		m.store.delete(j.ID)
+		return Job{}, err
+	}
+	select {
+	case m.queue <- j.ID:
+	default:
+		// Backpressure: roll the job back entirely.
+		m.store.delete(j.ID)
+		if err := os.RemoveAll(m.spool.jobPath(j.ID)); err != nil {
+			m.log.Printf("job %s: rollback: %v", j.ID, err)
+		}
+		return Job{}, ErrQueueFull
+	}
+	if m.obs != nil {
+		m.obs.Add(MetricJobsSubmitted, 1)
+	}
+	m.gaugeQueueDepth()
+	m.feed(j.ID).publish("state", stateEvent(j))
+	m.log.Printf("job %s: queued (%s)", j.ID, spec.Type)
+	return *j, nil
+}
+
+// Job returns a copy of the job, with its result attached when terminal.
+func (m *Manager) Job(id string) (Job, error) {
+	j, ok := m.store.get(id)
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	if j.State == StateDone && j.Result == nil {
+		res, err := m.spool.LoadResult(id)
+		if err != nil {
+			m.log.Printf("job %s: load result: %v", id, err)
+		}
+		j.Result = res
+	}
+	return j, nil
+}
+
+// Jobs lists every known job, oldest first, without results.
+func (m *Manager) Jobs() []Job { return m.store.list() }
+
+// Cancel moves a queued or running job to cancelled. Queued jobs never
+// start; running jobs stop at their next epoch boundary.
+func (m *Manager) Cancel(id string) error {
+	var wasTerminal bool
+	j, ok := m.store.update(id, func(x *Job) {
+		if x.State.Terminal() {
+			wasTerminal = true
+			return
+		}
+		x.State = StateCancelled
+		if x.Started == nil { // cancelled while queued: finished now
+			now := time.Now().UTC()
+			x.Finished = &now
+		}
+	})
+	if !ok {
+		return ErrNotFound
+	}
+	if wasTerminal {
+		return ErrJobDone
+	}
+	if err := m.spool.SaveManifest(&j); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	cancel := m.cancels[id]
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel() // running: interrupt at the next boundary
+	} else {
+		// Cancelled while queued: the worker that eventually dequeues
+		// the ID sees the state and skips; finish the feed now.
+		m.finishFeed(id, &j)
+		if m.obs != nil {
+			m.obs.Add(finishedSeries(StateCancelled), 1)
+		}
+	}
+	m.log.Printf("job %s: cancel requested", id)
+	return nil
+}
+
+// Events returns the job's SSE feed. For a job already terminal (e.g.
+// finished before this process started), the feed is primed with the
+// terminal state and closed so subscribers get one event and EOF.
+func (m *Manager) Events(id string) (*feed, error) {
+	j, ok := m.store.get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	f := m.feed(id)
+	if j.State.Terminal() {
+		f.publish("state", stateEvent(&j)) // dropped if already closed
+		f.close()
+	}
+	return f, nil
+}
+
+// Stop begins shutdown: no new submissions, running jobs are cancelled
+// (they stop at their next epoch boundary, checkpoint already on disk)
+// and the pool is drained. Returns ctx.Err() if the drain deadline
+// passes first; the spool stays consistent either way.
+func (m *Manager) Stop(ctx context.Context) error {
+	m.mu.Lock()
+	m.stopped = true
+	m.mu.Unlock()
+	m.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// feed returns (creating if needed) the job's event feed.
+func (m *Manager) feed(id string) *feed {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.feeds[id]
+	if f == nil {
+		f = newFeed()
+		m.feeds[id] = f
+	}
+	return f
+}
+
+// finishFeed publishes the job's terminal state and closes the feed.
+func (m *Manager) finishFeed(id string, j *Job) {
+	f := m.feed(id)
+	f.publish("state", stateEvent(j))
+	f.close()
+}
+
+// stateEvent is the payload of "state" SSE events.
+func stateEvent(j *Job) map[string]any {
+	ev := map[string]any{"id": j.ID, "state": j.State, "epoch": j.Epoch}
+	if j.Epochs > 0 {
+		ev["epochs"] = j.Epochs
+	}
+	if j.Error != "" {
+		ev["error"] = j.Error
+	}
+	return ev
+}
+
+func (m *Manager) gaugeQueueDepth() {
+	if m.obs != nil {
+		m.obs.Set(MetricQueueDepth, float64(len(m.queue)))
+	}
+}
+
+// worker is one pool goroutine: dequeue, run, repeat until shutdown.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case id := <-m.queue:
+			m.gaugeQueueDepth()
+			m.runJob(id)
+		}
+	}
+}
+
+// runJob executes one attempt of the job.
+func (m *Manager) runJob(id string) {
+	j, ok := m.store.get(id)
+	if !ok || j.State != StateQueued {
+		return // cancelled while queued, or rolled back
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	m.mu.Lock()
+	m.cancels[id] = cancel
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.cancels, id)
+		m.mu.Unlock()
+		cancel()
+	}()
+
+	// Gauge up before the state flips so anyone who observes a job in
+	// StateRunning also observes a non-zero running gauge.
+	if m.obs != nil {
+		m.obs.Set(MetricJobsRunning, float64(m.running.Add(1)))
+		defer func() { m.obs.Set(MetricJobsRunning, float64(m.running.Add(-1))) }()
+	}
+	now := time.Now().UTC()
+	j, _ = m.store.update(id, func(x *Job) {
+		x.State = StateRunning
+		x.Started = &now
+		x.Attempts++
+	})
+	if err := m.spool.SaveManifest(&j); err != nil {
+		m.fail(id, fmt.Errorf("persist manifest: %w", err))
+		return
+	}
+	m.feed(id).publish("state", stateEvent(&j))
+	m.log.Printf("job %s: running (attempt %d)", id, j.Attempts)
+	start := time.Now()
+
+	var result []byte
+	var err error
+	switch j.Spec.Type {
+	case TypeField:
+		result, err = m.runField(ctx, id, &j)
+	case TypeSweep:
+		result, err = j.Spec.Sweep.run(exp.Options{Workers: j.Spec.Workers, Ctx: ctx, Obs: m.obs})
+	default:
+		err = fmt.Errorf("service: unknown job type %q", j.Spec.Type)
+	}
+	if m.obs != nil {
+		m.obs.Observe(MetricJobSeconds, time.Since(start).Seconds())
+	}
+
+	if err != nil && ctx.Err() != nil {
+		// Interrupted, not failed. Two flavors:
+		cur, _ := m.store.get(id)
+		if cur.State == StateCancelled {
+			// User cancel: terminal.
+			now := time.Now().UTC()
+			cj, _ := m.store.update(id, func(x *Job) { x.Finished = &now })
+			if err := m.spool.SaveManifest(&cj); err != nil {
+				m.log.Printf("job %s: persist cancel: %v", id, err)
+			}
+			m.finishFeed(id, &cj)
+			if m.obs != nil {
+				m.obs.Add(finishedSeries(StateCancelled), 1)
+			}
+			m.log.Printf("job %s: cancelled at epoch %d", id, cj.Epoch)
+			return
+		}
+		// Shutdown drain: leave the manifest saying "running" — that is
+		// the durable marker recovery turns back into "queued", and the
+		// last checkpoint on disk is where the resume picks up.
+		m.log.Printf("job %s: interrupted at epoch %d, will resume from checkpoint", id, cur.Epoch)
+		return
+	}
+	if err != nil {
+		m.fail(id, err)
+		return
+	}
+	m.finish(id, result)
+}
+
+// fail moves the job to failed and persists it.
+func (m *Manager) fail(id string, runErr error) {
+	now := time.Now().UTC()
+	j, ok := m.store.update(id, func(x *Job) {
+		if x.State.Terminal() {
+			return
+		}
+		x.State = StateFailed
+		x.Error = runErr.Error()
+		x.Finished = &now
+	})
+	if !ok {
+		return
+	}
+	if err := m.spool.SaveManifest(&j); err != nil {
+		m.log.Printf("job %s: persist failure: %v", id, err)
+	}
+	m.finishFeed(id, &j)
+	if m.obs != nil {
+		m.obs.Add(finishedSeries(StateFailed), 1)
+	}
+	m.log.Printf("job %s: failed: %v", id, runErr)
+}
+
+// finish moves the job to done, persisting the result before the state
+// so a crash between the two re-runs the job rather than serving a done
+// job with no result.
+func (m *Manager) finish(id string, result []byte) {
+	if err := m.spool.SaveResult(id, result); err != nil {
+		m.fail(id, fmt.Errorf("persist result: %w", err))
+		return
+	}
+	now := time.Now().UTC()
+	var raced bool
+	j, ok := m.store.update(id, func(x *Job) {
+		if x.State != StateRunning { // lost a race with Cancel
+			raced = true
+			return
+		}
+		x.State = StateDone
+		x.Finished = &now
+	})
+	if !ok || raced {
+		return
+	}
+	if err := m.spool.SaveManifest(&j); err != nil {
+		m.log.Printf("job %s: persist done: %v", id, err)
+	}
+	m.finishFeed(id, &j)
+	if m.obs != nil {
+		m.obs.Add(finishedSeries(StateDone), 1)
+	}
+	m.log.Printf("job %s: done", id)
+}
+
+// runField executes (or resumes) a field job, checkpointing at every
+// epoch boundary. The checkpoint discipline is the crash-safety core:
+// snapshot first (atomic), manifest second, so the spool always holds a
+// snapshot at least as new as the manifest's epoch counter, and a
+// resume never needs state the spool might have lost.
+func (m *Manager) runField(ctx context.Context, id string, j *Job) ([]byte, error) {
+	spec := j.Spec.Field
+	f, cfg, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	fd := m.feed(id)
+	cfg.OnEpoch = func(rep *field.EpochReport) {
+		fd.publish("epoch", rep)
+	}
+
+	snapPath := m.spool.SnapshotPath(id)
+	var rt *field.Runtime
+	snap, rerr := field.ReadSnapshotFile(snapPath)
+	switch {
+	case rerr == nil:
+		rt, err = field.Resume(f, cfg, snap)
+		if err != nil {
+			return nil, err
+		}
+		if m.obs != nil {
+			m.obs.Add(MetricResumes, 1)
+		}
+		m.log.Printf("job %s: resumed from checkpoint at epoch %d", id, snap.Epoch)
+	case errors.Is(rerr, os.ErrNotExist):
+		rt, err = field.New(f, cfg)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		// A corrupt or foreign-version checkpoint cannot be resumed, but
+		// the run is deterministic: starting over produces the identical
+		// summary, so recover by restarting rather than failing.
+		m.log.Printf("job %s: unusable checkpoint (%v), restarting from epoch 0", id, rerr)
+		rt, err = field.New(f, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	opts := exp.Options{Workers: j.Spec.Workers, Ctx: ctx, Obs: m.obs}
+	epochs := spec.epochs()
+	for rt.Epoch() < epochs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := rt.RunEpoch(opts); err != nil {
+			return nil, err
+		}
+		if err := rt.Snapshot().WriteFile(snapPath); err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		ej, _ := m.store.update(id, func(x *Job) { x.Epoch = rt.Epoch() })
+		if err := m.spool.SaveManifest(&ej); err != nil {
+			return nil, fmt.Errorf("checkpoint manifest: %w", err)
+		}
+		if m.obs != nil {
+			m.obs.Add(MetricCheckpoints, 1)
+		}
+	}
+	return json.MarshalIndent(rt.Summary(), "", "  ")
+}

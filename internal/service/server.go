@@ -1,0 +1,176 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxSpecBytes bounds a POST /v1/jobs body; a job spec is a page of
+// JSON, anything larger is a client bug or abuse.
+const maxSpecBytes = 1 << 20
+
+// Server is the HTTP face of a Manager: the /v1 job API, the SSE
+// progress streams and the Prometheus scrape endpoint.
+//
+//	POST   /v1/jobs             submit (202; 400 invalid; 429 queue full)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job detail (+ result when done)
+//	POST   /v1/jobs/{id}/cancel cancel queued/running job
+//	DELETE /v1/jobs/{id}        alias for cancel
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness probe
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+	log *log.Logger
+	obs obs.Observer
+}
+
+// NewServer builds the handler stack. reg may be nil (then /metrics
+// serves 404); lg may be nil (then requests are not logged).
+func NewServer(m *Manager, reg *obs.Registry, lg *log.Logger) *Server {
+	if lg == nil {
+		lg = log.New(io.Discard, "", 0)
+	}
+	s := &Server{m: m, mux: http.NewServeMux(), log: lg, obs: m.obs}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if reg != nil {
+		s.mux.Handle("GET /metrics", reg.Handler())
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler with request logging and the HTTP
+// request counter wrapped around the mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	if s.obs != nil {
+		s.obs.Add(obs.Series(MetricHTTPRequests, "code", strconv.Itoa(sw.code)), 1)
+	}
+	s.log.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.code, time.Since(start).Round(time.Microsecond))
+}
+
+// statusWriter records the response code for logging/metrics. Flush is
+// forwarded so SSE streaming keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// writeJSON sends v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad spec: " + err.Error()})
+		return
+	}
+	j, err := s.m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: tell the client when to come back. The hint is
+		// heuristic (one mean job duration would be better), a constant
+		// keeps it honest and cheap.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, ErrStopped):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+j.ID)
+		writeJSON(w, http.StatusAccepted, j)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.m.Jobs()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.m.Job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	err := s.m.Cancel(id)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+	case errors.Is(err, ErrJobDone):
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	default:
+		j, _ := s.m.Job(id)
+		writeJSON(w, http.StatusOK, j)
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	f, err := s.m.Events(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	serveSSE(w, r, f)
+}

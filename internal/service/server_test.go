@@ -1,0 +1,371 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/field"
+	"repro/internal/obs"
+)
+
+// newTestServer wires a manager + registry + HTTP server the way
+// cmd/mhpolld does.
+func newTestServer(t *testing.T, workers, queueDepth int) (*httptest.Server, *Manager) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cluster.RegisterMetrics(reg)
+	field.RegisterMetrics(reg)
+	RegisterMetrics(reg)
+	m, err := New(Config{
+		SpoolDir:   t.TempDir(),
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		Obs:        reg.Observer(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	ts := httptest.NewServer(NewServer(m, reg, nil))
+	t.Cleanup(func() {
+		ts.Close()
+		stopManager(t, m)
+	})
+	return ts, m
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// fieldSpecJSON is the curl-able form of a tiny field job.
+const fieldSpecJSON = `{
+  "type": "field",
+  "workers": 2,
+  "field": {
+    "seed": 19, "side": 300, "heads": 5, "sensors": 90,
+    "sensor_range": 40, "interference_range": 80,
+    "battery_joules": 200, "epoch_cycles": 2, "epochs": %d,
+    "fault_rate": 0.5,
+    "params": {"rate_bps": 15, "cycle_ms": 10000, "seed": 7, "use_sectors": true}
+  }
+}`
+
+// TestHTTPLifecycle drives a full job through the HTTP API: submit,
+// list, SSE progress, metrics-while-running, completion with result.
+func TestHTTPLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, 1, 8)
+
+	// Submit.
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", fmt.Sprintf(fieldSpecJSON, 6))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var j Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.ID == "" || j.State != StateQueued || j.Epochs != 6 {
+		t.Fatalf("submit response: %+v", j)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+j.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	// SSE: subscribe before completion, collect until the stream closes.
+	type sse struct {
+		events []string
+		datas  []string
+	}
+	done := make(chan sse, 1)
+	go func() {
+		var got sse
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+		if err != nil {
+			done <- got
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "event: ") {
+				got.events = append(got.events, strings.TrimPrefix(line, "event: "))
+			}
+			if strings.HasPrefix(line, "data: ") {
+				got.datas = append(got.datas, strings.TrimPrefix(line, "data: "))
+			}
+		}
+		done <- got
+	}()
+
+	// Metrics must be scrapeable while the job executes.
+	deadline := time.Now().Add(60 * time.Second)
+	sawRunning := false
+	for !sawRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never observed running via /metrics+/v1/jobs")
+		}
+		var cur Job
+		getJSON(t, ts.URL+"/v1/jobs/"+j.ID, &cur)
+		if cur.State.Terminal() {
+			break // too fast to catch mid-flight; scrape checked below anyway
+		}
+		if cur.State != StateRunning {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		mresp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mbuf bytes.Buffer
+		if _, err := mbuf.ReadFrom(mresp.Body); err != nil {
+			t.Fatal(err)
+		}
+		mresp.Body.Close()
+		if mresp.StatusCode != 200 {
+			t.Fatalf("metrics while running: %d", mresp.StatusCode)
+		}
+		if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("metrics content type %q", ct)
+		}
+		if !strings.Contains(mbuf.String(), "service_jobs_running 1") {
+			// The job may have finished between the state check and the
+			// scrape; only a scrape taken while it is still running must
+			// show the gauge.
+			var recheck Job
+			getJSON(t, ts.URL+"/v1/jobs/"+j.ID, &recheck)
+			if !recheck.State.Terminal() {
+				t.Fatalf("scrape during run lacks running gauge:\n%.400s", mbuf.String())
+			}
+			break
+		}
+		sawRunning = true
+	}
+
+	// Wait for completion over HTTP.
+	var fin Job
+	for {
+		getJSON(t, ts.URL+"/v1/jobs/"+j.ID, &fin)
+		if fin.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: %+v", fin)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("finished %s (%s)", fin.State, fin.Error)
+	}
+	var sum field.Summary
+	if err := json.Unmarshal(fin.Result, &sum); err != nil {
+		t.Fatalf("result is not a field summary: %v", err)
+	}
+	if sum.Epochs != 6 {
+		t.Fatalf("summary epochs = %d", sum.Epochs)
+	}
+
+	// List view includes the job, without the result payload.
+	var list struct{ Jobs []Job }
+	getJSON(t, ts.URL+"/v1/jobs", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != j.ID {
+		t.Fatalf("list: %+v", list)
+	}
+	if list.Jobs[0].Result != nil {
+		t.Fatal("list view leaked result payload")
+	}
+
+	// The SSE stream must have closed with epoch progress plus a
+	// terminal state event.
+	got := <-done
+	epochs, states := 0, 0
+	for _, e := range got.events {
+		switch e {
+		case "epoch":
+			epochs++
+		case "state":
+			states++
+		}
+	}
+	if epochs != 6 {
+		t.Fatalf("SSE delivered %d epoch events, want 6 (events %v)", epochs, got.events)
+	}
+	if states == 0 {
+		t.Fatal("SSE delivered no state events")
+	}
+	last := got.datas[len(got.datas)-1]
+	if !strings.Contains(last, `"done"`) {
+		t.Fatalf("last SSE event is not terminal: %s", last)
+	}
+
+	// Final metrics: done counter moved.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	if _, err := mbuf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	for _, want := range []string{
+		`service_jobs_finished_total{state="done"} 1`,
+		"service_jobs_submitted_total 1",
+		"field_epochs_total 6",
+		"service_checkpoints_total 6",
+	} {
+		if !strings.Contains(mbuf.String(), want) {
+			t.Errorf("final metrics lack %q", want)
+		}
+	}
+}
+
+// TestHTTPErrors covers the 4xx surface: bad JSON, unknown fields,
+// unknown job, cancel conflicts and queue backpressure.
+func TestHTTPErrors(t *testing.T) {
+	ts, m := newTestServer(t, 1, 1)
+
+	// Malformed and invalid specs.
+	for _, body := range []string{
+		"{not json",
+		`{"type":"field"}`,
+		`{"type":"field","bogus_field":1}`,
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %q: %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// Unknown job.
+	if resp := getJSON(t, ts.URL+"/v1/jobs/deadbeef00000000", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d", resp.StatusCode)
+	}
+
+	// Fill the single worker + single queue slot, then overflow.
+	resp1, body1 := postJSON(t, ts.URL+"/v1/jobs", fmt.Sprintf(fieldSpecJSON, 200))
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", resp1.StatusCode, body1)
+	}
+	var j1 Job
+	if err := json.Unmarshal(body1, &j1); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, m, j1.ID, 30*time.Second, func(x Job) bool { return x.State == StateRunning })
+	resp2, _ := postJSON(t, ts.URL+"/v1/jobs", fmt.Sprintf(fieldSpecJSON, 1))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d", resp2.StatusCode)
+	}
+	resp3, body3 := postJSON(t, ts.URL+"/v1/jobs", fmt.Sprintf(fieldSpecJSON, 1))
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d %s, want 429", resp3.StatusCode, body3)
+	}
+	if resp3.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Cancel the runner via DELETE; second cancel conflicts.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+j1.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", dresp.StatusCode)
+	}
+	waitJob(t, m, j1.ID, 30*time.Second, func(x Job) bool { return x.State.Terminal() })
+	cresp, _ := postJSON(t, ts.URL+"/v1/jobs/"+j1.ID+"/cancel", "")
+	if cresp.StatusCode != http.StatusConflict {
+		t.Fatalf("double cancel: %d, want 409", cresp.StatusCode)
+	}
+
+	// Events for an unknown job 404s.
+	if resp := getJSON(t, ts.URL+"/v1/jobs/ffffffffffffffff/events", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown events: %d", resp.StatusCode)
+	}
+
+	// Healthz.
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// TestSSETerminalReplay: subscribing to a job that is already finished
+// yields exactly one terminal state event and EOF — including after a
+// process restart when the in-memory feed is gone.
+func TestSSETerminalReplay(t *testing.T) {
+	spool := t.TempDir()
+	m, err := New(Config{SpoolDir: spool, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	j, err := m.Submit(testFieldSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, m, j.ID, 60*time.Second, func(x Job) bool { return x.State.Terminal() })
+	stopManager(t, m)
+
+	// Fresh process: no feed history survives, the terminal state is
+	// synthesized from the recovered manifest.
+	m2, err := New(Config{SpoolDir: spool, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Start()
+	ts := httptest.NewServer(NewServer(m2, nil, nil))
+	defer func() {
+		ts.Close()
+		stopManager(t, m2)
+	}()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil { // returns at feed close
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "event: state") || !strings.Contains(s, `"done"`) {
+		t.Fatalf("terminal replay stream:\n%s", s)
+	}
+}

@@ -1,0 +1,303 @@
+// Package service is the crash-safe simulation job service: an HTTP API
+// over the field runtime (internal/field) and the experiment sweeps
+// (internal/exp). Jobs are submitted as JSON specs, run on a bounded
+// worker pool behind a FIFO queue, and expose their lifecycle, live
+// epoch progress (Server-Sent Events) and the process-wide metrics
+// registry over HTTP. The headline guarantee is crash safety: a field
+// job checkpoints its runtime snapshot to a spool directory at every
+// epoch boundary, so a daemon killed mid-run re-queues the job on
+// restart, resumes from the checkpoint, and — by the field runtime's
+// determinism contract — finishes with a summary byte-identical to an
+// uninterrupted run.
+//
+// The package mirrors the paper's own shape one level up: a cluster head
+// is a locally-centralized coordinator polling many battery-bound
+// clients; mhpolld is a locally-centralized coordinator polling many
+// long-running simulations. Both only pay off if the coordinator
+// survives faults.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/exp"
+	"repro/internal/field"
+	"repro/internal/topo"
+)
+
+// Job types.
+const (
+	// TypeField runs a multi-cluster field simulation (internal/field)
+	// with epoch-boundary checkpointing.
+	TypeField = "field"
+	// TypeSweep runs one of the experiment sweeps (internal/exp). Sweeps
+	// have no intermediate state to checkpoint; an interrupted sweep is
+	// re-run from scratch (cells are deterministic, so the result is
+	// unaffected).
+	TypeSweep = "sweep"
+)
+
+// Spec is the job specification clients POST to /v1/jobs. Exactly one of
+// Field/Sweep must be set, matching Type.
+type Spec struct {
+	Type string `json:"type"`
+	// Workers bounds the parallelism *inside* the job (field shard
+	// workers, sweep cells); 0 means all CPUs. Concurrency *across* jobs
+	// is the manager's worker pool, not the spec's business.
+	Workers int        `json:"workers,omitempty"`
+	Field   *FieldSpec `json:"field,omitempty"`
+	Sweep   *SweepSpec `json:"sweep,omitempty"`
+}
+
+// Validate checks the spec for structural problems before it is accepted
+// into the queue, so a malformed job fails at POST time with a 400, not
+// minutes later in a worker.
+func (s *Spec) Validate() error {
+	switch s.Type {
+	case TypeField:
+		if s.Field == nil {
+			return fmt.Errorf("service: field job without field spec")
+		}
+		if s.Sweep != nil {
+			return fmt.Errorf("service: field job carries a sweep spec")
+		}
+		return s.Field.validate()
+	case TypeSweep:
+		if s.Sweep == nil {
+			return fmt.Errorf("service: sweep job without sweep spec")
+		}
+		if s.Field != nil {
+			return fmt.Errorf("service: sweep job carries a field spec")
+		}
+		return s.Sweep.validate()
+	default:
+		return fmt.Errorf("service: unknown job type %q (want %q or %q)", s.Type, TypeField, TypeSweep)
+	}
+}
+
+// ParamsSpec is the JSON-friendly subset of cluster.Params a job may
+// override. Zero values inherit cluster.DefaultParams(); durations are
+// milliseconds so specs stay unit-explicit.
+type ParamsSpec struct {
+	M          int     `json:"m,omitempty"`
+	RateBps    float64 `json:"rate_bps,omitempty"`
+	CycleMS    float64 `json:"cycle_ms,omitempty"`
+	LossProb   float64 `json:"loss_prob,omitempty"`
+	DataBytes  int     `json:"data_bytes,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	UseSectors bool    `json:"use_sectors,omitempty"`
+	EarlySleep bool    `json:"early_sleep,omitempty"`
+	LinkLoss   bool    `json:"link_loss,omitempty"`
+}
+
+// apply folds the overrides into p.
+func (ps *ParamsSpec) apply(p *cluster.Params) {
+	if ps == nil {
+		return
+	}
+	if ps.M > 0 {
+		p.M = ps.M
+	}
+	if ps.RateBps > 0 {
+		p.RateBps = ps.RateBps
+	}
+	if ps.CycleMS > 0 {
+		p.Cycle = time.Duration(ps.CycleMS * float64(time.Millisecond))
+	}
+	if ps.LossProb > 0 {
+		p.LossProb = ps.LossProb
+	}
+	if ps.DataBytes > 0 {
+		p.DataBytes = ps.DataBytes
+	}
+	if ps.Seed != 0 {
+		p.Seed = ps.Seed
+	}
+	p.UseSectors = ps.UseSectors
+	p.EarlySleep = ps.EarlySleep
+	p.LinkLoss = ps.LinkLoss
+}
+
+// FieldSpec describes a field simulation as pure data. Build rebuilds the
+// identical (topo.Field, field.Config) pair from it on every attempt —
+// that is what makes the spec, rather than any in-memory object, the
+// job's durable identity: the manifest stores the spec, the snapshot
+// stores the derived state, and resume = Build + field.Resume.
+type FieldSpec struct {
+	// Deployment: heads and sensors uniformly placed in a side x side
+	// square (topo.BuildField) from Seed.
+	Seed    int64   `json:"seed"`
+	Side    float64 `json:"side"`
+	Heads   int     `json:"heads"`
+	Sensors int     `json:"sensors"`
+	// Radio ranges; HeadRange 0 means Side (cover the whole square).
+	SensorRange float64 `json:"sensor_range"`
+	HeadRange   float64 `json:"head_range,omitempty"`
+	// InterferenceRange feeds the Section V-G channel coloring.
+	InterferenceRange float64 `json:"interference_range"`
+	// BatteryJoules enables depletion accounting when positive.
+	BatteryJoules float64 `json:"battery_joules,omitempty"`
+	// Epoch schedule; zero values mean 1.
+	EpochCycles int `json:"epoch_cycles,omitempty"`
+	Epochs      int `json:"epochs,omitempty"`
+	// Churn arms the epoch-boundary fault engine.
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	ChurnSeed int64   `json:"churn_seed,omitempty"`
+	// Params overrides the shared cluster parameters.
+	Params *ParamsSpec `json:"params,omitempty"`
+}
+
+func (fs *FieldSpec) validate() error {
+	if fs.Heads < 1 {
+		return fmt.Errorf("service: field spec needs at least one head, got %d", fs.Heads)
+	}
+	if fs.Sensors < 0 {
+		return fmt.Errorf("service: negative sensor count %d", fs.Sensors)
+	}
+	if fs.Side <= 0 {
+		return fmt.Errorf("service: non-positive field side %g", fs.Side)
+	}
+	if fs.SensorRange <= 0 {
+		return fmt.Errorf("service: non-positive sensor range %g", fs.SensorRange)
+	}
+	if fs.InterferenceRange <= 0 {
+		return fmt.Errorf("service: non-positive interference range %g", fs.InterferenceRange)
+	}
+	if fs.FaultRate < 0 || fs.FaultRate > 1 {
+		return fmt.Errorf("service: fault rate %g outside [0,1]", fs.FaultRate)
+	}
+	return nil
+}
+
+// epochs resolves the job's target epoch count.
+func (fs *FieldSpec) epochs() int {
+	if fs.Epochs < 1 {
+		return 1
+	}
+	return fs.Epochs
+}
+
+// Build materializes the deployment and runtime config the spec
+// describes. Deterministic: two calls return independent but identical
+// pairs (churn mutates topology in place, so every attempt must build
+// fresh).
+func (fs *FieldSpec) Build() (*topo.Field, field.Config, error) {
+	if err := fs.validate(); err != nil {
+		return nil, field.Config{}, err
+	}
+	f := topo.BuildField(fs.Seed, fs.Side, fs.Heads, fs.Sensors)
+	tc := topo.DefaultConfig(0, fs.Seed)
+	tc.SensorRange = fs.SensorRange
+	tc.HeadRange = fs.HeadRange
+	if tc.HeadRange <= 0 {
+		tc.HeadRange = fs.Side
+	}
+	p := cluster.DefaultParams()
+	fs.Params.apply(&p)
+	cfg := field.Config{
+		Topo:              tc,
+		Params:            p,
+		InterferenceRange: fs.InterferenceRange,
+		BatteryJoules:     fs.BatteryJoules,
+		EpochCycles:       fs.EpochCycles,
+		Epochs:            fs.epochs(),
+		Churn: field.Churn{
+			FaultRate: fs.FaultRate,
+			Seed:      fs.ChurnSeed,
+		},
+	}
+	return f, cfg, nil
+}
+
+// Sweep figures the service can run.
+const (
+	SweepFig7a    = "7a"
+	SweepFig7b    = "7b"
+	SweepFig7c    = "7c"
+	SweepCapacity = "capacity"
+)
+
+// SweepSpec selects one experiment sweep.
+type SweepSpec struct {
+	// Fig names the sweep: 7a, 7b, 7c or capacity.
+	Fig string `json:"fig"`
+	// Quick selects the cut-down grids (the -quick CLI flag).
+	Quick bool `json:"quick,omitempty"`
+}
+
+func (ss *SweepSpec) validate() error {
+	switch ss.Fig {
+	case SweepFig7a, SweepFig7b, SweepFig7c, SweepCapacity:
+		return nil
+	}
+	return fmt.Errorf("service: unknown sweep fig %q", ss.Fig)
+}
+
+// sweepResult is the terminal payload of a sweep job: the machine-readable
+// points plus the rendered ASCII table the CLI prints.
+type sweepResult struct {
+	Fig    string          `json:"fig"`
+	Points json.RawMessage `json:"points"`
+	Table  string          `json:"table"`
+}
+
+// run executes the sweep under o (which carries the job's context,
+// worker bound and observer) and returns the marshaled result.
+func (ss *SweepSpec) run(o exp.Options) ([]byte, error) {
+	var (
+		points any
+		table  string
+		err    error
+	)
+	switch ss.Fig {
+	case SweepFig7a:
+		cfg := exp.DefaultFig7a()
+		if ss.Quick {
+			cfg = exp.QuickFig7a()
+		}
+		var pts []exp.Fig7aPoint
+		pts, err = exp.Fig7a(o, cfg)
+		points, table = pts, exp.RenderFig7a(pts)
+	case SweepFig7b:
+		cfg := exp.DefaultFig7b()
+		if ss.Quick {
+			cfg = exp.QuickFig7b()
+		}
+		var pts []exp.Fig7bPoint
+		pts, err = exp.Fig7b(o, cfg)
+		points, table = pts, exp.RenderFig7b(pts)
+	case SweepFig7c:
+		cfg := exp.DefaultFig7c()
+		if ss.Quick {
+			cfg = exp.QuickFig7c()
+		}
+		var pts []exp.Fig7cPoint
+		pts, err = exp.Fig7c(o, cfg)
+		points, table = pts, exp.RenderFig7c(pts)
+	case SweepCapacity:
+		nodes := []int{10, 20, 30, 40, 60, 80, 100}
+		seeds := []int64{1, 2}
+		if ss.Quick {
+			nodes = []int{10, 30}
+			seeds = []int64{1}
+		}
+		p := exp.DefaultFig7a().Params
+		p.LossProb = 0
+		var rows []exp.CapacityRow
+		rows, err = exp.Capacity(o, nodes, seeds, p)
+		points, table = rows, exp.RenderCapacity(rows)
+	default:
+		return nil, fmt.Errorf("service: unknown sweep fig %q", ss.Fig)
+	}
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal(points)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(sweepResult{Fig: ss.Fig, Points: raw, Table: table}, "", "  ")
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Spool is the service's durable state: one directory per job holding
+//
+//	<dir>/<job-id>/manifest.json    the Job record (spec + lifecycle)
+//	<dir>/<job-id>/snapshot.json    latest field.Snapshot (field jobs)
+//	<dir>/<job-id>/result.json      terminal payload (done jobs)
+//
+// Every write is atomic (temp file + rename in the same directory), so a
+// crash at any instant leaves each file either at its previous version or
+// its new one — never torn. Recovery is therefore a pure function of the
+// directory contents.
+type Spool struct {
+	dir string
+}
+
+// OpenSpool creates (if needed) and opens a spool directory.
+func OpenSpool(dir string) (*Spool, error) {
+	if dir == "" {
+		return nil, errors.New("service: empty spool dir")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: open spool: %w", err)
+	}
+	return &Spool{dir: dir}, nil
+}
+
+// Dir returns the spool's root directory.
+func (sp *Spool) Dir() string { return sp.dir }
+
+// JobDir returns (and creates) the job's directory.
+func (sp *Spool) JobDir(id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\.") {
+		return "", fmt.Errorf("service: bad job id %q", id)
+	}
+	d := filepath.Join(sp.dir, id)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		return "", err
+	}
+	return d, nil
+}
+
+// jobPath returns the job's directory without creating it.
+func (sp *Spool) jobPath(id string) string {
+	return filepath.Join(sp.dir, id)
+}
+
+// SnapshotPath returns where the job's field checkpoint lives. The file
+// is written by field.Snapshot.WriteFile (atomic) from the runner.
+func (sp *Spool) SnapshotPath(id string) string {
+	return filepath.Join(sp.dir, id, "snapshot.json")
+}
+
+// SaveManifest durably records the job's current lifecycle state.
+func (sp *Spool) SaveManifest(j *Job) error {
+	d, err := sp.JobDir(j.ID)
+	if err != nil {
+		return err
+	}
+	// The manifest never embeds the result; it has its own file.
+	m := *j
+	m.Result = nil
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(d, "manifest.json"), data)
+}
+
+// SaveResult durably records a finished job's payload.
+func (sp *Spool) SaveResult(id string, result []byte) error {
+	d, err := sp.JobDir(id)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(d, "result.json"), result)
+}
+
+// LoadResult returns the job's terminal payload, nil when absent.
+func (sp *Spool) LoadResult(id string) ([]byte, error) {
+	b, err := os.ReadFile(filepath.Join(sp.dir, id, "result.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return b, err
+}
+
+// Recover scans the spool and rebuilds the job set. Jobs whose manifests
+// say queued or running were interrupted: they are flipped back to
+// queued (attempt count intact — the runner bumps it at pickup) and
+// returned in requeue, oldest first, so the FIFO order survives the
+// crash. Terminal jobs load as-is for API visibility. Unreadable
+// manifests are skipped with their error recorded, not fatal: one
+// corrupt job must not take the daemon down.
+func (sp *Spool) Recover() (jobs []*Job, requeue []string, errs []error) {
+	entries, err := os.ReadDir(sp.dir)
+	if err != nil {
+		return nil, nil, []error{fmt.Errorf("service: scan spool: %w", err)}
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		sp.sweepTemp(id)
+		data, err := os.ReadFile(filepath.Join(sp.dir, id, "manifest.json"))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("service: job %s: %w", id, err))
+			continue
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			errs = append(errs, fmt.Errorf("service: job %s: bad manifest: %w", id, err))
+			continue
+		}
+		if j.ID != id {
+			errs = append(errs, fmt.Errorf("service: job dir %s holds manifest for %q", id, j.ID))
+			continue
+		}
+		if !j.State.Terminal() {
+			j.State = StateQueued
+		}
+		jobs = append(jobs, &j)
+	}
+	sort.Slice(jobs, func(i, k int) bool {
+		if !jobs[i].Created.Equal(jobs[k].Created) {
+			return jobs[i].Created.Before(jobs[k].Created)
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	for _, j := range jobs {
+		if j.State == StateQueued {
+			requeue = append(requeue, j.ID)
+		}
+	}
+	return jobs, requeue, errs
+}
+
+// sweepTemp removes *.tmp* debris a crash mid-write can leave in a job
+// directory (the atomic writers' deferred cleanup never ran). Best
+// effort: the debris is harmless — renames are atomic, so the named
+// files are always complete — it just should not accumulate.
+func (sp *Spool) sweepTemp(id string) {
+	stale, _ := filepath.Glob(filepath.Join(sp.dir, id, "*.tmp*"))
+	for _, p := range stale {
+		os.Remove(p)
+	}
+}
+
+// writeFileAtomic installs data at path via temp file + rename, the same
+// discipline field.Snapshot.WriteFile uses: readers (and crash recovery)
+// only ever observe complete files.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

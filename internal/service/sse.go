@@ -1,0 +1,138 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// feed is one job's ordered event log plus a change-notification
+// primitive. Publishers append; any number of SSE subscribers replay from
+// an index and then wait for more. The log is in-memory and per-process:
+// after a daemon restart a subscriber sees the events of the current
+// attempt only (the durable record is the spool, not the feed).
+type feed struct {
+	mu     sync.Mutex
+	events []sseEvent
+	closed bool
+	// changed is closed and replaced whenever an event lands or the feed
+	// closes, waking every waiter; waiters grab the current channel
+	// under the lock and select on it.
+	changed chan struct{}
+}
+
+// sseEvent is one rendered server-sent event.
+type sseEvent struct {
+	ID   int    // 1-based sequence number
+	Name string // SSE event: field
+	Data []byte // JSON payload, single line
+}
+
+// maxFeedEvents bounds a feed's replay log. Long runs drop their oldest
+// events once past the cap (late subscribers lose deep history, live
+// subscribers are unaffected); Trim keeps IDs stable so Last-Event-ID
+// style cursors stay meaningful.
+const maxFeedEvents = 4096
+
+func newFeed() *feed {
+	return &feed{changed: make(chan struct{})}
+}
+
+// publish appends an event with a JSON-marshaled payload.
+func (f *feed) publish(name string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		// Payloads are this package's own structs; a marshal failure is
+		// a programming error worth surfacing loudly in tests.
+		panic(fmt.Sprintf("service: unmarshalable SSE payload: %v", err))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	id := 1
+	if n := len(f.events); n > 0 {
+		id = f.events[n-1].ID + 1
+	}
+	f.events = append(f.events, sseEvent{ID: id, Name: name, Data: data})
+	if len(f.events) > maxFeedEvents {
+		f.events = f.events[len(f.events)-maxFeedEvents:]
+	}
+	f.wake()
+}
+
+// close marks the feed complete: subscribers drain what remains and
+// return. Further publishes are dropped.
+func (f *feed) close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.wake()
+}
+
+// wake must run under f.mu.
+func (f *feed) wake() {
+	close(f.changed)
+	f.changed = make(chan struct{})
+}
+
+// since returns the events with ID > after, whether the feed is closed,
+// and the channel that will signal the next change.
+func (f *feed) since(after int) ([]sseEvent, bool, <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []sseEvent
+	for _, e := range f.events {
+		if e.ID > after {
+			out = append(out, e)
+		}
+	}
+	return out, f.closed, f.changed
+}
+
+// serveSSE streams the feed over w until the feed closes or the client
+// disconnects. Events render in the standard format:
+//
+//	id: 3
+//	event: epoch
+//	data: {...}
+func serveSSE(w http.ResponseWriter, r *http.Request, f *feed) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	cursor := 0
+	for {
+		events, closed, changed := f.since(cursor)
+		for _, e := range events {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Name, e.Data); err != nil {
+				return
+			}
+			cursor = e.ID
+		}
+		if len(events) > 0 {
+			fl.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-changed:
+		}
+	}
+}
