@@ -29,6 +29,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/field"
 	"repro/internal/obs"
+	"repro/internal/routing"
 	"repro/internal/service"
 )
 
@@ -48,6 +49,7 @@ func main() {
 	reg := obs.NewRegistry()
 	cluster.RegisterMetrics(reg)
 	field.RegisterMetrics(reg)
+	routing.RegisterMetrics(reg)
 	service.RegisterMetrics(reg)
 	logger := log.Default()
 

@@ -173,6 +173,16 @@ type Runner struct {
 // NewRunner plans routing (and sectors when enabled) for the cluster and
 // returns a ready runtime.
 func NewRunner(c *topo.Cluster, p Params) (*Runner, error) {
+	return NewRunnerCached(c, p, nil)
+}
+
+// NewRunnerCached is NewRunner with a routing plan cache: when cache holds
+// a plan for the cluster's current connectivity revision and demand, the
+// flow solve is skipped and the cached plan reused. The plan is a pure
+// function of (connectivity, demand, search), so a hit changes nothing
+// about the runner's behavior — cached and freshly solved runners are
+// byte-identical. A nil cache plans from scratch every time.
+func NewRunnerCached(c *topo.Cluster, p Params, cache *routing.PlanCache) (*Runner, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -193,9 +203,14 @@ func NewRunner(c *topo.Cluster, p Params) (*Runner, error) {
 			unreachable = append(unreachable, v)
 		}
 	}
-	plan, err := routing.BalancedPaths(c.G, topo.Head, demand, p.Search)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: routing failed: %w", err)
+	plan := cache.Lookup(c.ConnectivityRev(), demand, p.Search)
+	if plan == nil {
+		var err error
+		plan, err = routing.BalancedPaths(c.G, topo.Head, demand, p.Search)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: routing failed: %w", err)
+		}
+		cache.Store(c.ConnectivityRev(), demand, p.Search, plan)
 	}
 	r := &Runner{
 		C:           c,

@@ -1,0 +1,135 @@
+package field
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/obs"
+)
+
+// buildQuietField is buildChurnField with every churn family disarmed and
+// batteries disabled: nothing can change topology or demand between
+// epochs, so every epoch after the first must be a pure cache hit.
+func buildQuietField() (*Runtime, error) {
+	f, cfg := buildChurnField()
+	cfg.Churn = Churn{}
+	cfg.BatteryJoules = 0
+	return New(f, cfg)
+}
+
+// cacheTotals sums hit/miss counters over all non-empty clusters.
+func cacheTotals(rt *Runtime) (hits, misses uint64, clusters int) {
+	for k, c := range rt.clusters {
+		if c == nil {
+			continue
+		}
+		pc := rt.PlanCache(k)
+		hits += pc.Hits
+		misses += pc.Misses
+		clusters++
+	}
+	return hits, misses, clusters
+}
+
+// TestPlanCacheHitAfterQuietEpoch pins the cache's reason to exist: with
+// no churn, epoch 1 misses once per cluster (cold) and epoch 2 hits once
+// per cluster, with no additional flow solves. The obs counters must
+// report the same totals.
+func TestPlanCacheHitAfterQuietEpoch(t *testing.T) {
+	rt, err := buildQuietField()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	o := exp.Options{Workers: 2, Obs: reg.Observer()}
+
+	if _, err := rt.RunEpoch(o); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, clusters := cacheTotals(rt)
+	if clusters == 0 {
+		t.Fatal("fixture produced no non-empty clusters")
+	}
+	if hits != 0 || misses != uint64(clusters) {
+		t.Fatalf("epoch 1: hits=%d misses=%d, want 0/%d", hits, misses, clusters)
+	}
+	solvesAfter1 := reg.Counter(MetricPlanCacheMisses, "").Value()
+	if solvesAfter1 != float64(clusters) {
+		t.Fatalf("%s = %v after epoch 1, want %d", MetricPlanCacheMisses, solvesAfter1, clusters)
+	}
+
+	if _, err := rt.RunEpoch(o); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ = cacheTotals(rt)
+	if hits != uint64(clusters) || misses != uint64(clusters) {
+		t.Fatalf("epoch 2: hits=%d misses=%d, want %d/%d", hits, misses, clusters, clusters)
+	}
+	if got := reg.Counter(MetricPlanCacheHits, "").Value(); got != float64(clusters) {
+		t.Fatalf("%s = %v, want %d", MetricPlanCacheHits, got, clusters)
+	}
+	if got := reg.Counter(MetricPlanCacheMisses, "").Value(); got != float64(clusters) {
+		t.Fatalf("%s = %v, want %d", MetricPlanCacheMisses, got, clusters)
+	}
+	// A hit serves the memoized plan without touching the solver, so the
+	// solve counter must not move between epochs 1 and 2.
+	if s1, s2 := solvesAfter1, reg.Counter(MetricPlanCacheMisses, "").Value(); s2 != s1 {
+		t.Fatalf("misses moved on a quiet epoch: %v -> %v", s1, s2)
+	}
+}
+
+// TestPlanCacheInvalidation pins the churn contract: MarkFailed and
+// RefreshConnectivity bump the cluster's connectivity revision, so the
+// next epoch re-plans that cluster while the untouched clusters keep
+// hitting.
+func TestPlanCacheInvalidation(t *testing.T) {
+	rt, err := buildQuietField()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := -1
+	for k, c := range rt.clusters {
+		if c != nil && c.Sensors() >= 3 {
+			target = k
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("fixture has no cluster with >= 3 sensors")
+	}
+	o := exp.Options{}
+	if _, err := rt.RunEpoch(o); err != nil {
+		t.Fatal(err)
+	}
+
+	// MarkFailed between epochs: target misses again, everyone else hits.
+	rt.clusters[target].MarkFailed(1)
+	rt.dead[target][1] = true
+	if _, err := rt.RunEpoch(o); err != nil {
+		t.Fatal(err)
+	}
+	for k, c := range rt.clusters {
+		if c == nil {
+			continue
+		}
+		pc := rt.PlanCache(k)
+		wantMisses, wantHits := uint64(1), uint64(1)
+		if k == target {
+			wantMisses, wantHits = 2, 0
+		}
+		if pc.Misses != wantMisses || pc.Hits != wantHits {
+			t.Fatalf("cluster %d after MarkFailed epoch: hits=%d misses=%d, want %d/%d",
+				k, pc.Hits, pc.Misses, wantHits, wantMisses)
+		}
+	}
+
+	// RefreshConnectivity between epochs: same story.
+	rt.clusters[target].RefreshConnectivity()
+	if _, err := rt.RunEpoch(o); err != nil {
+		t.Fatal(err)
+	}
+	if pc := rt.PlanCache(target); pc.Misses != 3 {
+		t.Fatalf("RefreshConnectivity did not invalidate: misses=%d, want 3", pc.Misses)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/energy"
 	"repro/internal/exp"
+	"repro/internal/routing"
 	"repro/internal/topo"
 )
 
@@ -266,8 +267,21 @@ type Runtime struct {
 	epoch     int
 	shadowRev int
 
+	// planCaches[k] memoizes cluster k's routing plan across epoch
+	// boundaries, keyed by (connectivity revision, demand fingerprint):
+	// quiet epochs reuse the plan instead of re-solving the flow network.
+	// Each cache is only touched by the shard worker running cluster k, so
+	// no locking is needed; the plan itself is a pure function of the key,
+	// so hits cannot perturb the determinism contract.
+	planCaches []*routing.PlanCache
+
 	sum Summary
 }
+
+// PlanCache returns cluster k's routing plan cache (nil for empty
+// clusters) — its Hits/Misses counters are the cache's ground truth and
+// what the tests assert on.
+func (rt *Runtime) PlanCache(k int) *routing.PlanCache { return rt.planCaches[k] }
 
 // New builds a runtime over the field. The field's clusters are
 // materialized once; churn mutates them in place across epochs.
@@ -288,6 +302,7 @@ func New(f *topo.Field, cfg Config) (*Runtime, error) {
 	}
 	rt.clusters = make([]*topo.Cluster, len(f.Heads))
 	rt.dead = make([][]bool, len(f.Heads))
+	rt.planCaches = make([]*routing.PlanCache, len(f.Heads))
 	if cfg.BatteryJoules > 0 {
 		rt.batteries = make([][]float64, len(f.Heads))
 	}
@@ -302,6 +317,7 @@ func New(f *topo.Field, cfg Config) (*Runtime, error) {
 		}
 		rt.clusters[k] = c
 		rt.dead[k] = make([]bool, n+1)
+		rt.planCaches[k] = &routing.PlanCache{}
 		if rt.batteries != nil {
 			rt.batteries[k] = make([]float64, n+1)
 			for v := 1; v <= n; v++ {
@@ -376,7 +392,13 @@ type clusterEpochOut struct {
 	live        int
 	// energyUse[v] is sensor v's joules drawn this epoch (depletion).
 	energyUse []float64
-	err       error
+	// cacheHit records whether the routing plan came from the plan cache;
+	// on a miss, planSolves/planAugments carry the fresh plan's solver
+	// stats for the routing_* counters.
+	cacheHit     bool
+	planSolves   int
+	planAugments int
+	err          error
 }
 
 // RunEpoch advances the field one epoch: every live cluster runs
@@ -402,10 +424,17 @@ func (rt *Runtime) RunEpoch(o exp.Options) (*Epoch, error) {
 		out.live = rt.live(k)
 		pk := p
 		pk.Seed = rt.epochSeed(epoch, k)
-		r, err := cluster.NewRunner(c, pk)
+		pc := rt.planCaches[k]
+		misses0 := pc.Misses
+		r, err := cluster.NewRunnerCached(c, pk, pc)
 		if err != nil {
 			out.err = fmt.Errorf("field: cluster %d epoch %d: %w", k, epoch, err)
 			return
+		}
+		out.cacheHit = pc.Misses == misses0
+		if !out.cacheHit {
+			out.planSolves = r.Plan.Solves
+			out.planAugments = r.Plan.AugmentingPaths
 		}
 		r.Obs = o.Obs
 		out.unreachable = len(r.Unreachable)
@@ -522,7 +551,20 @@ func (rt *Runtime) RunEpoch(o exp.Options) (*Epoch, error) {
 	}
 	rt.sum.Reports = append(rt.sum.Reports, ep.Report)
 	if o.Obs != nil {
-		rt.emit(&ep.Report, o.Obs)
+		var ps plannerStats
+		for k := range outs {
+			if outs[k].summary == nil {
+				continue
+			}
+			if outs[k].cacheHit {
+				ps.cacheHits++
+			} else {
+				ps.cacheMisses++
+				ps.solves += outs[k].planSolves
+				ps.augments += outs[k].planAugments
+			}
+		}
+		rt.emit(&ep.Report, ps, o.Obs)
 	}
 	if rt.cfg.OnEpoch != nil {
 		rt.cfg.OnEpoch(&ep.Report)

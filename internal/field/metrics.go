@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/routing"
 )
 
 // Field-level metric families, emitted into exp.Options.Obs on top of the
@@ -24,6 +25,12 @@ const (
 	// MetricShardSeconds is a histogram of per-epoch shard wall-clock,
 	// labeled channel="<color>".
 	MetricShardSeconds = "field_shard_seconds"
+	// MetricPlanCacheHits counts epoch-boundary runner builds that reused
+	// a cached routing plan; MetricPlanCacheMisses counts the ones that
+	// had to re-solve the flow network (topology or demand changed, or
+	// first epoch).
+	MetricPlanCacheHits   = "field_plan_cache_hits_total"
+	MetricPlanCacheMisses = "field_plan_cache_misses_total"
 )
 
 var (
@@ -52,18 +59,31 @@ func RegisterMetrics(reg *obs.Registry) {
 	reg.Counter(seriesDeathBattery, "sensor deaths")
 	reg.Counter(seriesDeathFault, "sensor deaths")
 	reg.Gauge(MetricClustersLive, "clusters that ran in the latest epoch")
+	reg.Counter(MetricPlanCacheHits, "epoch-boundary runner builds that reused a cached routing plan")
+	reg.Counter(MetricPlanCacheMisses, "epoch-boundary runner builds that re-solved the routing flow network")
 	for ch := 0; ch < 6; ch++ {
 		reg.Histogram(seriesShardSeconds(ch), "per-epoch shard wall-clock in seconds", nil)
 	}
 }
 
+// plannerStats aggregates one epoch's routing-planner work, collected
+// single-threaded after the shard barrier.
+type plannerStats struct {
+	cacheHits, cacheMisses int
+	solves, augments       int
+}
+
 // emit publishes one epoch report. Called once per epoch, after the
 // barrier, only when an observer is configured.
-func (rt *Runtime) emit(rep *EpochReport, o obs.Observer) {
+func (rt *Runtime) emit(rep *EpochReport, ps plannerStats, o obs.Observer) {
 	o.Add(MetricEpochs, 1)
 	o.Add(MetricReplans, float64(rep.Replans))
 	o.Set(MetricStranded, float64(rep.Stranded))
 	o.Set(MetricClustersLive, float64(len(rep.Clusters)))
+	o.Add(MetricPlanCacheHits, float64(ps.cacheHits))
+	o.Add(MetricPlanCacheMisses, float64(ps.cacheMisses))
+	o.Add(routing.MetricSolves, float64(ps.solves))
+	o.Add(routing.MetricAugmentPaths, float64(ps.augments))
 	for _, d := range rep.Deaths {
 		if d.Cause == "battery" {
 			o.Add(seriesDeathBattery, 1)

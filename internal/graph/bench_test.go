@@ -18,33 +18,90 @@ func benchRandomGraph(n int, p float64, seed int64) *Undirected {
 	return g
 }
 
-func BenchmarkMaxFlowClusterSized(b *testing.B) {
-	// A flow network the size the routing layer builds for a 60-sensor
-	// cluster (node splitting doubles the vertex count).
+type benchEdge struct {
+	u, v int
+	c    int64
+}
+
+// clusterSizedEdges builds the edge list of a flow network the size the
+// routing layer builds for a 60-sensor cluster (node splitting doubles
+// the vertex count).
+func clusterSizedEdges(n int) []benchEdge {
 	rng := rand.New(rand.NewSource(1))
-	n := 122
-	type edge struct {
-		u, v int
-		c    int64
-	}
-	var edges []edge
+	var edges []benchEdge
 	for u := 1; u < n-1; u++ {
-		edges = append(edges, edge{0, u, int64(1 + rng.Intn(3))})
+		edges = append(edges, benchEdge{0, u, int64(1 + rng.Intn(3))})
 		for k := 0; k < 4; k++ {
-			edges = append(edges, edge{u, 1 + rng.Intn(n-2), 8})
-		}
-		edges = append(edges, edge{u, n - 1, 4})
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f := NewFlowNetwork(n)
-		for _, e := range edges {
-			if e.u != e.v {
-				f.AddEdge(e.u, e.v, e.c)
+			if v := 1 + rng.Intn(n-2); v != u {
+				edges = append(edges, benchEdge{u, v, 8})
 			}
 		}
-		f.MaxFlow(0, n-1)
+		edges = append(edges, benchEdge{u, n - 1, 4})
 	}
+	return edges
+}
+
+func buildBench(n int, edges []benchEdge) *FlowNetwork {
+	f := NewFlowNetwork(n)
+	for _, e := range edges {
+		f.AddEdge(e.u, e.v, e.c)
+	}
+	return f
+}
+
+func BenchmarkMaxFlowClusterSized(b *testing.B) {
+	n := 122
+	edges := clusterSizedEdges(n)
+	b.Run("dinic", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f := buildBench(n, edges)
+			f.MaxFlow(0, n-1)
+		}
+	})
+	b.Run("edmondskarp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f := buildBench(n, edges)
+			f.MaxFlowEdmondsKarp(0, n-1)
+		}
+	})
+	// The delta-search probe pattern: restore the flow snapshot from the
+	// last infeasible delta, raise the source-arc capacities and continue
+	// augmenting instead of re-solving from scratch. Zero allocations
+	// once scratch is warm.
+	b.Run("warm-resolve", func(b *testing.B) {
+		f := buildBench(n, edges)
+		f.MaxFlow(0, n-1)
+		base := f.SaveFlow(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.RestoreFlow(base)
+			for j, e := range edges {
+				if e.u == 0 {
+					f.SetCapacity(2*j, e.c+2)
+				}
+			}
+			f.MaxFlow(0, n-1)
+		}
+	})
+	// The same probe done the pre-overhaul way: discard the flow and
+	// re-solve from zero at the raised capacities.
+	b.Run("cold-resolve", func(b *testing.B) {
+		f := buildBench(n, edges)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j, e := range edges {
+				if e.u == 0 {
+					f.SetCapacity(2*j, e.c+2)
+				}
+			}
+			f.Reset()
+			f.MaxFlow(0, n-1)
+		}
+	})
 }
 
 func BenchmarkHamiltonianPath16(b *testing.B) {

@@ -2,6 +2,76 @@ package graph
 
 import "testing"
 
+// fuzzNetworkPair decodes a byte string into two identical flow networks
+// (one solved by Dinic, one by the Edmonds-Karp oracle). Bytes are
+// consumed in (u, v, cap) triples over a vertex count derived from the
+// first byte; returns nil when the input cannot make a non-trivial
+// network.
+func fuzzNetworkPair(raw []byte) (dinic, ek *FlowNetwork, n int) {
+	if len(raw) < 4 {
+		return nil, nil, 0
+	}
+	n = int(raw[0]%14) + 2
+	dinic, ek = NewFlowNetwork(n), NewFlowNetwork(n)
+	edges := 0
+	for i := 1; i+2 < len(raw); i += 3 {
+		u, v := int(raw[i])%n, int(raw[i+1])%n
+		if u == v {
+			continue
+		}
+		c := int64(raw[i+2] % 32)
+		dinic.AddEdge(u, v, c)
+		ek.AddEdge(u, v, c)
+		edges++
+	}
+	if edges == 0 {
+		return nil, nil, 0
+	}
+	return dinic, ek, n
+}
+
+// FuzzDinicVsEdmondsKarp cross-checks the Dinic hot path against the
+// Edmonds-Karp oracle on arbitrary networks: equal max-flow value, flow
+// conservation, and max-flow = min-cut.
+func FuzzDinicVsEdmondsKarp(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 3, 1, 2, 2, 2, 3, 5, 0, 2, 1})
+	f.Add([]byte{2, 0, 1, 7})
+	f.Add([]byte{9, 0, 3, 31, 3, 8, 31, 0, 8, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dn, ek, n := fuzzNetworkPair(raw)
+		if dn == nil {
+			return
+		}
+		s, sink := 0, n-1
+		got := dn.MaxFlow(s, sink)
+		want := ek.MaxFlowEdmondsKarp(s, sink)
+		if got != want {
+			t.Fatalf("Dinic=%d Edmonds-Karp=%d on %d vertices", got, want, n)
+		}
+		if err := dn.CheckConservation(s, sink); err != nil {
+			t.Fatalf("Dinic flow: %v", err)
+		}
+		if cut := cutCapacity(dn, s); cut != got {
+			t.Fatalf("min cut %d != max flow %d", cut, got)
+		}
+	})
+}
+
+// cutCapacity sums the capacities of forward edges crossing out of the
+// residual-reachable set — by max-flow/min-cut duality it must equal the
+// solved flow value.
+func cutCapacity(f *FlowNetwork, s int) int64 {
+	seen := f.MinCutReachable(s)
+	var cut int64
+	for i := 0; i < f.EdgeCount(); i++ {
+		u, v := f.EdgeEnds(2 * i)
+		if seen[u] && !seen[v] {
+			cut += f.cap[2*i]
+		}
+	}
+	return cut
+}
+
 // FuzzPartition cross-checks the DP against brute force on arbitrary
 // small multisets.
 func FuzzPartition(f *testing.F) {

@@ -136,6 +136,137 @@ func TestMaxFlowEqualsMinCutRandom(t *testing.T) {
 	}
 }
 
+// randomFlowPair builds one random network twice, so Dinic and the
+// Edmonds-Karp oracle can be run on identical inputs.
+func randomFlowPair(rng *rand.Rand) (dinic, ek *FlowNetwork, n int) {
+	n = 2 + rng.Intn(20)
+	dinic, ek = NewFlowNetwork(n), NewFlowNetwork(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < 0.3 {
+				c := int64(rng.Intn(20) + 1)
+				if rng.Intn(8) == 0 {
+					c = Inf // the routing networks mix Inf link arcs in
+				}
+				dinic.AddEdge(u, v, c)
+				ek.AddEdge(u, v, c)
+			}
+		}
+	}
+	return dinic, ek, n
+}
+
+// TestDinicMatchesEdmondsKarp is the solver-equivalence property test: on
+// randomized networks (including Inf-capacity arcs like the routing
+// layer's link edges) Dinic and Edmonds-Karp must agree on the max-flow
+// value, both flows must conserve, and the value must equal the min cut.
+func TestDinicMatchesEdmondsKarp(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 300; trial++ {
+		dn, ek, n := randomFlowPair(rng)
+		s, t0 := 0, n-1
+		got := dn.MaxFlow(s, t0)
+		want := ek.MaxFlowEdmondsKarp(s, t0)
+		if got != want {
+			t.Fatalf("trial %d: Dinic %d != Edmonds-Karp %d", trial, got, want)
+		}
+		if err := dn.CheckConservation(s, t0); err != nil {
+			t.Fatalf("trial %d: Dinic %v", trial, err)
+		}
+		if err := ek.CheckConservation(s, t0); err != nil {
+			t.Fatalf("trial %d: oracle %v", trial, err)
+		}
+		if got >= Inf {
+			continue // cut below Inf arcs is meaningless
+		}
+		reach := dn.MinCutReachable(s)
+		var cut int64
+		for i := 0; i < dn.EdgeCount(); i++ {
+			u, v := dn.EdgeEnds(2 * i)
+			if reach[u] && !reach[v] {
+				cut += dn.cap[2*i]
+			}
+		}
+		if cut != got {
+			t.Fatalf("trial %d: residual cut %d != flow %d", trial, cut, got)
+		}
+	}
+}
+
+// TestMaxFlowWarmResolve pins the incremental contract the routing delta
+// search relies on: after raising capacities, MaxFlow continues from the
+// retained flow and returns only the additional amount, and the combined
+// total equals a cold solve at the final capacities.
+func TestMaxFlowWarmResolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(12)
+		type edge struct {
+			u, v int
+			c    int64
+		}
+		var edges []edge
+		warm, cold := NewFlowNetwork(n), NewFlowNetwork(n)
+		var ids []int
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.35 {
+					c := int64(rng.Intn(8) + 1)
+					edges = append(edges, edge{u, v, c})
+					ids = append(ids, warm.AddEdge(u, v, c))
+					cold.AddEdge(u, v, c)
+				}
+			}
+		}
+		if len(edges) == 0 {
+			continue
+		}
+		s, t0 := 0, n-1
+		total := warm.MaxFlow(s, t0)
+		// Raise a random subset of capacities and continue augmenting.
+		bump := int64(rng.Intn(6) + 1)
+		final := NewFlowNetwork(n)
+		for i, e := range edges {
+			c := e.c
+			if i%2 == trial%2 {
+				c += bump
+				warm.SetCapacity(ids[i], c)
+			}
+			final.AddEdge(e.u, e.v, c)
+		}
+		total += warm.MaxFlow(s, t0)
+		if want := final.MaxFlow(s, t0); total != want {
+			t.Fatalf("trial %d: warm total %d != cold %d", trial, total, want)
+		}
+		if err := warm.CheckConservation(s, t0); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestSaveRestoreFlow pins the snapshot helpers the binary search probes
+// use: restoring a saved flow reproduces the exact edge flows, and
+// augmenting after a restore matches augmenting from the original state.
+func TestSaveRestoreFlow(t *testing.T) {
+	f := NewFlowNetwork(4)
+	e0 := f.AddEdge(0, 1, 2)
+	f.AddEdge(1, 3, 2)
+	e2 := f.AddEdge(0, 2, 1)
+	f.AddEdge(2, 3, 1)
+	if got := f.MaxFlow(0, 3); got != 3 {
+		t.Fatalf("solve = %d", got)
+	}
+	snap := f.SaveFlow(nil)
+	f.SetCapacity(e0, 5)
+	f.SetCapacity(e2, 5)
+	f.MaxFlow(0, 3)
+	f.RestoreFlow(snap)
+	if f.EdgeFlow(e0) != 2 || f.EdgeFlow(e2) != 1 {
+		t.Fatalf("restored flows = %d, %d", f.EdgeFlow(e0), f.EdgeFlow(e2))
+	}
+	mustPanic(t, func() { f.RestoreFlow(snap[:2]) })
+}
+
 func TestOutEdges(t *testing.T) {
 	f := NewFlowNetwork(3)
 	e0 := f.AddEdge(0, 1, 1)

@@ -39,6 +39,16 @@ func BenchmarkBalancedPaths80(b *testing.B) {
 	}
 }
 
+func BenchmarkBalancedPaths200(b *testing.B) {
+	c, demand := benchSetup(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BalancedPaths(c.G, topo.Head, demand, BinarySearch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCycleRoutes(b *testing.B) {
 	c, demand := benchSetup(b, 50)
 	plan, err := BalancedPaths(c.G, topo.Head, demand, BinarySearch)

@@ -1,0 +1,25 @@
+package routing
+
+import "repro/internal/obs"
+
+// Planner metric families. The routing package itself never emits (its
+// entry points are pure functions); the field runtime adds each computed
+// Plan's Solves/AugmentingPaths to these series after planning a cluster,
+// and mhpolld serves them at /metrics.
+const (
+	// MetricSolves counts max-flow solver invocations across all routing
+	// plans (warm probes plus canonical decomposition solves; see
+	// Plan.Solves).
+	MetricSolves = "routing_solves_total"
+	// MetricAugmentPaths counts augmenting paths pushed by the max-flow
+	// solver across all routing plans.
+	MetricAugmentPaths = "routing_augment_paths_total"
+)
+
+// RegisterMetrics pre-registers the routing series in reg with help text;
+// as everywhere in the repo, emission works without it, registering makes
+// the exposition self-describing.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Counter(MetricSolves, "max-flow solver invocations by the routing delta search (warm probes + canonical solves)")
+	reg.Counter(MetricAugmentPaths, "augmenting paths pushed by the routing max-flow solver")
+}

@@ -15,7 +15,6 @@ package routing
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 )
@@ -51,9 +50,16 @@ type Plan struct {
 	// Paths[v] holds the relaying paths of sensor v; weights sum to v's
 	// demand. Sensors with zero demand have no entry.
 	Paths map[int][]WeightedPath
-	// Solves counts the max-flow invocations used by the delta search,
-	// recorded for the linear-vs-binary ablation.
+	// Solves counts the max-flow solver invocations used by the delta
+	// search, recorded for the linear-vs-binary ablation. Since the
+	// warm-started search most invocations continue augmenting an already
+	// partially solved network, so one "solve" is far cheaper than a cold
+	// max-flow; the count includes the final canonical solve that produces
+	// the decomposed flow (see EXPERIMENTS.md).
 	Solves int
+	// AugmentingPaths counts the augmenting paths the solver pushed across
+	// all invocations — warm probes plus the canonical decomposition solve.
+	AugmentingPaths int
 }
 
 // BalancedPaths computes load-balanced relaying paths on the connectivity
@@ -89,46 +95,75 @@ func BalancedPaths(g *graph.Undirected, head int, demand []int, search DeltaSear
 		return plan, nil
 	}
 
-	feasible := func(delta int) (*network, bool) {
-		nw := buildNetwork(g, head, demand, int64(delta))
+	// The network is built once at the lower bound; the delta search only
+	// raises the node-capacity arcs. Raising capacities keeps the current
+	// flow feasible (capacities are monotone in delta), so every probe
+	// continues augmenting instead of re-solving from zero.
+	nw := buildNetwork(g, head, demand, int64(maxDemand))
+	solve := func() int64 {
 		plan.Solves++
-		return nw, nw.fn.MaxFlow(nw.src, nw.sink) == int64(total)
+		return nw.fn.MaxFlow(nw.src, nw.sink)
 	}
 
-	var sat *network
+	delta := maxDemand
 	switch search {
 	case LinearSearch:
-		for delta := maxDemand; ; delta++ {
+		// Warm delta-ascent, the paper's "start with a small delta ...
+		// then increment": each step raises the node caps by one and pushes
+		// only the remaining flow, so the whole ascent costs roughly one
+		// max-flow's total augmentation work.
+		flowVal := solve()
+		for flowVal < int64(total) {
+			delta++
 			if delta > total {
 				return nil, fmt.Errorf("routing: no feasible delta up to total demand %d", total)
 			}
-			nw, ok := feasible(delta)
-			if ok {
-				plan.Delta = delta
-				sat = nw
-				break
-			}
+			nw.setDelta(int64(delta))
+			flowVal += solve()
 		}
 	case BinarySearch:
 		lo, hi := maxDemand, total
-		if _, ok := feasible(hi); !ok {
-			return nil, fmt.Errorf("routing: no feasible delta up to total demand %d", total)
-		}
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if _, ok := feasible(mid); ok {
-				hi = mid
-			} else {
-				lo = mid + 1
+		flowVal := solve()
+		if flowVal < int64(total) {
+			// Warm-start every probe from the flow at the largest delta
+			// known infeasible: that flow respects the (larger) probe
+			// capacities, so only the missing flow is augmented.
+			base := nw.fn.SaveFlow(nil)
+			baseVal := flowVal
+			lo++
+			for lo < hi {
+				mid := (lo + hi) / 2
+				nw.setDelta(int64(mid))
+				nw.fn.RestoreFlow(base)
+				pushed := solve()
+				if baseVal+pushed == int64(total) {
+					hi = mid
+				} else {
+					base = nw.fn.SaveFlow(base)
+					baseVal += pushed
+					lo = mid + 1
+				}
 			}
+			delta = lo
 		}
-		plan.Delta = lo
-		sat, _ = feasible(lo)
 	default:
 		return nil, fmt.Errorf("routing: unknown search strategy %d", search)
 	}
 
-	paths, err := sat.decompose(demand)
+	// Canonical decomposition solve: one cold max-flow at the final delta.
+	// The warm probes above establish feasibility cheaply, but their flow
+	// depends on the probe history; re-solving from zero makes the
+	// decomposed paths a pure function of (g, head, demand, delta) —
+	// identical across search strategies and identical to a cold solve at
+	// the optimum.
+	nw.setDelta(int64(delta))
+	nw.fn.Reset()
+	if solve() != int64(total) {
+		return nil, fmt.Errorf("routing: no feasible delta up to total demand %d", total)
+	}
+	plan.Delta = delta
+	plan.AugmentingPaths = nw.fn.AugmentCount()
+	paths, err := nw.decompose(demand)
 	if err != nil {
 		return nil, err
 	}
@@ -144,12 +179,12 @@ type network struct {
 	head      int
 	srcEdge   []int // per-sensor source arc id (-1 if no demand)
 	nodeEdge  []int // per-sensor in->out arc id (-1 for head)
-	linkEdge  map[[2]int]int
 }
 
 // buildNetwork assembles the flow network: vertices 2v (input) and 2v+1
 // (output) for every original node v, a super source and the head's input
-// as sink.
+// as sink. Link arcs need no lookup structure: the decomposition walks all
+// forward edges by id.
 func buildNetwork(g *graph.Undirected, head int, demand []int, delta int64) *network {
 	n := g.N()
 	fn := graph.NewFlowNetwork(2*n + 1)
@@ -159,7 +194,6 @@ func buildNetwork(g *graph.Undirected, head int, demand []int, delta int64) *net
 		fn: fn, src: src, sink: sink, n: n, head: head,
 		srcEdge:  make([]int, n),
 		nodeEdge: make([]int, n),
-		linkEdge: make(map[[2]int]int),
 	}
 	in := func(v int) int { return 2 * v }
 	out := func(v int) int { return 2*v + 1 }
@@ -179,57 +213,109 @@ func buildNetwork(g *graph.Undirected, head int, demand []int, delta int64) *net
 		// Directed arcs from each sensor's output to its neighbor's
 		// input. Arcs into the head terminate at the sink.
 		if u != head && v != head {
-			nw.linkEdge[[2]int{u, v}] = fn.AddEdge(out(u), in(v), graph.Inf)
-			nw.linkEdge[[2]int{v, u}] = fn.AddEdge(out(v), in(u), graph.Inf)
+			fn.AddEdge(out(u), in(v), graph.Inf)
+			fn.AddEdge(out(v), in(u), graph.Inf)
 		} else {
 			s := u
 			if s == head {
 				s = v
 			}
-			nw.linkEdge[[2]int{s, head}] = fn.AddEdge(out(s), sink, graph.Inf)
+			fn.AddEdge(out(s), sink, graph.Inf)
 		}
 	}
 	return nw
+}
+
+// setDelta raises every sensor's node-capacity arc to delta. Capacities
+// are monotone over the delta search, so the existing flow stays feasible
+// and the next MaxFlow call merely continues augmenting.
+func (nw *network) setDelta(delta int64) {
+	for _, id := range nw.nodeEdge {
+		if id >= 0 {
+			nw.fn.SetCapacity(id, delta)
+		}
+	}
+}
+
+// decomposer peels a solved flow into weighted paths using slice-indexed
+// state only: remaining flow per forward edge, a CSR adjacency of the
+// positive-flow edges (ascending edge id, so the result is byte-identical
+// to the earlier sorted-map implementation), a current-arc cursor per
+// vertex, and a generation-stamped visited marker for cycle detection.
+type decomposer struct {
+	nw  *network
+	rem []int64 // rem[i]: un-peeled flow on forward edge 2*i
+
+	outStart []int // CSR offsets per vertex into outList
+	outList  []int // forward edge indices with positive flow, by tail
+	cursor   []int // per-vertex current arc: earlier entries are exhausted
+
+	seenGen int
+	seenAt  []int // walk index of a vertex, valid when seenStamp matches
+	seenIn  []int // generation stamp for seenAt
+
+	walk []int // forward edge indices of the current walk
+}
+
+// newDecomposer indexes the positive-flow forward edges of the solved
+// network.
+func newDecomposer(nw *network) *decomposer {
+	fn := nw.fn
+	nEdges := fn.EdgeCount()
+	nVerts := fn.N()
+	d := &decomposer{
+		nw:       nw,
+		rem:      make([]int64, nEdges),
+		outStart: make([]int, nVerts+1),
+		cursor:   make([]int, nVerts),
+		seenAt:   make([]int, nVerts),
+		seenIn:   make([]int, nVerts),
+	}
+	cnt := 0
+	for i := 0; i < nEdges; i++ {
+		if fl := fn.EdgeFlow(2 * i); fl > 0 {
+			d.rem[i] = fl
+			u, _ := fn.EdgeEnds(2 * i)
+			d.outStart[u+1]++
+			cnt++
+		}
+	}
+	for v := 0; v < nVerts; v++ {
+		d.outStart[v+1] += d.outStart[v]
+	}
+	d.outList = make([]int, cnt)
+	copy(d.cursor, d.outStart[:nVerts])
+	fill := d.cursor
+	for i := 0; i < nEdges; i++ {
+		if d.rem[i] > 0 {
+			u, _ := fn.EdgeEnds(2 * i)
+			d.outList[fill[u]] = i
+			fill[u]++
+		}
+	}
+	copy(d.cursor, d.outStart[:nVerts])
+	return d
+}
+
+// nextEdge returns the lowest-id positive-flow forward edge leaving u, or
+// -1. Remaining flow only ever decreases, so the cursor may permanently
+// skip exhausted edges (current-arc).
+func (d *decomposer) nextEdge(u int) int {
+	for c := d.cursor[u]; c < d.outStart[u+1]; c++ {
+		if i := d.outList[c]; d.rem[i] > 0 {
+			d.cursor[u] = c
+			return i
+		}
+	}
+	d.cursor[u] = d.outStart[u+1]
+	return -1
 }
 
 // decompose peels the solved flow into per-sensor weighted paths. Flow
 // cycles (possible in principle after augmentation) are cancelled on the
 // fly.
 func (nw *network) decompose(demand []int) (map[int][]WeightedPath, error) {
-	// Remaining flow per forward edge.
-	rem := make(map[int]int64)
-	record := func(id int) {
-		if id >= 0 {
-			if f := nw.fn.EdgeFlow(id); f > 0 {
-				rem[id] = f
-			}
-		}
-	}
-	for v := 0; v < nw.n; v++ {
-		record(nw.srcEdge[v])
-		record(nw.nodeEdge[v])
-	}
-	for _, id := range nw.linkEdge {
-		record(id)
-	}
-	// Adjacency of positive-flow edges by tail vertex.
-	outEdges := make(map[int][]int)
-	for id := range rem {
-		u, _ := nw.fn.EdgeEnds(id)
-		outEdges[u] = append(outEdges[u], id)
-	}
-	for _, es := range outEdges {
-		sort.Ints(es) // deterministic decomposition
-	}
-	nextEdge := func(u int) int {
-		for _, id := range outEdges[u] {
-			if rem[id] > 0 {
-				return id
-			}
-		}
-		return -1
-	}
-
+	d := newDecomposer(nw)
 	paths := make(map[int][]WeightedPath)
 	// Peel demand[v] units per sensor, in sensor order for determinism.
 	for v := 0; v < nw.n; v++ {
@@ -238,7 +324,7 @@ func (nw *network) decompose(demand []int) (map[int][]WeightedPath, error) {
 		}
 		need := int64(demand[v])
 		for need > 0 {
-			route, amount, err := nw.peel(v, rem, nextEdge, need)
+			route, amount, err := d.peel(v, need)
 			if err != nil {
 				return nil, err
 			}
@@ -252,41 +338,48 @@ func (nw *network) decompose(demand []int) (map[int][]WeightedPath, error) {
 // peel extracts one path for sensor v of at most maxAmount units, walking
 // positive-flow edges from v's input node to the sink and cancelling any
 // cycles encountered.
-func (nw *network) peel(v int, rem map[int]int64, nextEdge func(int) int, maxAmount int64) ([]int, int64, error) {
+func (d *decomposer) peel(v int, maxAmount int64) ([]int, int64, error) {
+	nw := d.nw
 	srcID := nw.srcEdge[v]
-	if srcID < 0 || rem[srcID] <= 0 {
+	if srcID < 0 || d.rem[srcID/2] <= 0 {
 		return nil, 0, fmt.Errorf("routing: decomposition missing supply for sensor %d", v)
 	}
 	for {
-		// Walk from in(v); nodeEdge then link edges until sink.
-		edges := []int{srcID}
-		visited := map[int]int{2 * v: 0} // vertex -> index in walk
+		// Walk from in(v); nodeEdge then link edges until sink. The walk
+		// stores forward edge indices (edge id / 2).
+		d.walk = append(d.walk[:0], srcID/2)
+		d.seenGen++
+		d.seenIn[2*v] = d.seenGen
+		d.seenAt[2*v] = 0
 		cur := 2 * v
 		cycled := false
 		for cur != nw.sink {
-			id := nextEdge(cur)
-			if id == -1 {
+			i := d.nextEdge(cur)
+			if i == -1 {
 				return nil, 0, fmt.Errorf("routing: decomposition stuck at vertex %d", cur)
 			}
-			_, to := nw.fn.EdgeEnds(id)
-			if at, seen := visited[to]; seen {
-				// Cancel the cycle edges[at+1..] (the edges after
-				// reaching `to` the first time, up to and including id).
-				cyc := append(append([]int(nil), edges[at+1:]...), id)
-				var m int64 = -1
+			_, to := nw.fn.EdgeEnds(2 * i)
+			if d.seenIn[to] == d.seenGen {
+				// Cancel the cycle: the edges after reaching `to` the
+				// first time, up to and including i.
+				at := d.seenAt[to]
+				cyc := d.walk[at+1:]
+				m := d.rem[i]
 				for _, e := range cyc {
-					if m < 0 || rem[e] < m {
-						m = rem[e]
+					if d.rem[e] < m {
+						m = d.rem[e]
 					}
 				}
 				for _, e := range cyc {
-					rem[e] -= m
+					d.rem[e] -= m
 				}
+				d.rem[i] -= m
 				cycled = true
 				break
 			}
-			edges = append(edges, id)
-			visited[to] = len(edges) - 1
+			d.walk = append(d.walk, i)
+			d.seenIn[to] = d.seenGen
+			d.seenAt[to] = len(d.walk) - 1
 			cur = to
 		}
 		if cycled {
@@ -294,22 +387,22 @@ func (nw *network) peel(v int, rem map[int]int64, nextEdge func(int) int, maxAmo
 		}
 		// Bottleneck along the walk, capped by the remaining demand.
 		amount := maxAmount
-		for _, e := range edges {
-			if rem[e] < amount {
-				amount = rem[e]
+		for _, e := range d.walk {
+			if d.rem[e] < amount {
+				amount = d.rem[e]
 			}
 		}
 		if amount <= 0 {
 			return nil, 0, fmt.Errorf("routing: zero bottleneck for sensor %d", v)
 		}
-		for _, e := range edges {
-			rem[e] -= amount
+		for _, e := range d.walk {
+			d.rem[e] -= amount
 		}
 		// Convert split vertices back to node ids: the walk visits
 		// src->in(v)->out(v)->in(u)->out(u)->...->sink.
 		route := []int{v}
-		for _, e := range edges[1:] {
-			_, to := nw.fn.EdgeEnds(e)
+		for _, e := range d.walk[1:] {
+			_, to := nw.fn.EdgeEnds(2 * e)
 			if to == nw.sink {
 				route = append(route, nw.head)
 			} else if to%2 == 0 && to/2 != route[len(route)-1] {

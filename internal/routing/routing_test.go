@@ -283,6 +283,150 @@ func TestBinarySearchUsesFewerSolves(t *testing.T) {
 	}
 }
 
+// randomCluster builds a random connected sensor graph with a few head
+// links plus a random demand vector — the topology family the warm-start
+// equivalence properties are checked over.
+func randomCluster(rng *rand.Rand) (*graph.Undirected, []int) {
+	n := 3 + rng.Intn(14)
+	g := graph.NewUndirected(n + 1)
+	for v := 1; v <= n; v++ {
+		if v == 1 || rng.Float64() < 0.3 {
+			g.AddEdge(0, v)
+		}
+		if v > 1 {
+			g.AddEdge(v, 1+rng.Intn(v-1))
+		}
+	}
+	demand := make([]int, n+1)
+	for v := 1; v <= n; v++ {
+		demand[v] = rng.Intn(4)
+	}
+	return g, demand
+}
+
+// samePaths reports whether two decompositions are identical: same
+// sensors, same path order, same nodes and weights.
+func samePaths(a, b map[int][]WeightedPath) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, ps := range a {
+		qs, ok := b[v]
+		if !ok || len(ps) != len(qs) {
+			return false
+		}
+		for i := range ps {
+			if ps[i].Weight != qs[i].Weight || len(ps[i].Nodes) != len(qs[i].Nodes) {
+				return false
+			}
+			for j := range ps[i].Nodes {
+				if ps[i].Nodes[j] != qs[i].Nodes[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestWarmSearchMatchesColdSolve is the warm-start equivalence property:
+// on random cluster topologies, the warm-started linear and binary
+// searches must agree with each other and with a cold solve — a network
+// built directly at the optimal delta and solved from zero flow — on both
+// Delta and the decomposed paths, byte for byte.
+func TestWarmSearchMatchesColdSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(733))
+	for trial := 0; trial < 120; trial++ {
+		g, demand := randomCluster(rng)
+		total := 0
+		for _, d := range demand {
+			total += d
+		}
+		if total == 0 {
+			continue
+		}
+		lin, err := BalancedPaths(g, 0, demand, LinearSearch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := BalancedPaths(g, 0, demand, BinarySearch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lin.Delta != bin.Delta {
+			t.Fatalf("trial %d: linear delta %d != binary %d", trial, lin.Delta, bin.Delta)
+		}
+		if !samePaths(lin.Paths, bin.Paths) {
+			t.Fatalf("trial %d: linear and binary paths differ:\n%v\nvs\n%v", trial, lin.Paths, bin.Paths)
+		}
+		// Cold reference: a fresh network at the found delta, solved from
+		// zero flow, decomposed the same way.
+		nw := buildNetwork(g, 0, demand, int64(lin.Delta))
+		if got := nw.fn.MaxFlow(nw.src, nw.sink); got != int64(total) {
+			t.Fatalf("trial %d: cold solve at delta %d pushed %d of %d", trial, lin.Delta, got, total)
+		}
+		cold, err := nw.decompose(demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePaths(lin.Paths, cold) {
+			t.Fatalf("trial %d: warm paths differ from cold solve:\n%v\nvs\n%v", trial, lin.Paths, cold)
+		}
+		// Delta minimality: the cold network at delta-1 must not satisfy
+		// the demand (delta is the smallest feasible node capacity).
+		if lin.Delta > 0 {
+			low := buildNetwork(g, 0, demand, int64(lin.Delta-1))
+			if low.fn.MaxFlow(low.src, low.sink) == int64(total) {
+				t.Fatalf("trial %d: delta %d is not minimal", trial, lin.Delta)
+			}
+		}
+	}
+}
+
+// TestPlanCache pins the memoization contract: same (rev, demand, search)
+// hits and returns the identical *Plan; any component changing misses.
+func TestPlanCache(t *testing.T) {
+	g := lineCluster(4)
+	demand := unitDemand(4)
+	plan, err := BalancedPaths(g, 0, demand, LinearSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pc PlanCache
+	if got := pc.Lookup(7, demand, LinearSearch); got != nil {
+		t.Fatal("empty cache should miss")
+	}
+	pc.Store(7, demand, LinearSearch, plan)
+	if got := pc.Lookup(7, demand, LinearSearch); got != plan {
+		t.Fatal("cache should return the stored plan")
+	}
+	if got := pc.Lookup(8, demand, LinearSearch); got != nil {
+		t.Fatal("revision change should miss")
+	}
+	if got := pc.Lookup(7, demand, BinarySearch); got != nil {
+		t.Fatal("search change should miss")
+	}
+	d2 := append([]int(nil), demand...)
+	d2[2]++
+	if got := pc.Lookup(7, d2, LinearSearch); got != nil {
+		t.Fatal("demand change should miss")
+	}
+	if pc.Hits != 1 || pc.Misses != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 1/4", pc.Hits, pc.Misses)
+	}
+	pc.Invalidate()
+	if got := pc.Lookup(7, demand, LinearSearch); got != nil {
+		t.Fatal("invalidated cache should miss")
+	}
+	// Nil receiver: silent miss, no counting, Store/Invalidate no-ops.
+	var nilPC *PlanCache
+	if got := nilPC.Lookup(7, demand, LinearSearch); got != nil {
+		t.Fatal("nil cache should miss")
+	}
+	nilPC.Store(7, demand, LinearSearch, plan)
+	nilPC.Invalidate()
+}
+
 func TestLoadsValidation(t *testing.T) {
 	if _, err := Loads(3, 0, map[int][]int{1: {1, 2}}, []int{0, 1, 0}); err == nil {
 		t.Error("route not ending at head should error")

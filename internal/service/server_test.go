@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/field"
 	"repro/internal/obs"
+	"repro/internal/routing"
 )
 
 // newTestServer wires a manager + registry + HTTP server the way
@@ -23,6 +24,7 @@ func newTestServer(t *testing.T, workers, queueDepth int) (*httptest.Server, *Ma
 	reg := obs.NewRegistry()
 	cluster.RegisterMetrics(reg)
 	field.RegisterMetrics(reg)
+	routing.RegisterMetrics(reg)
 	RegisterMetrics(reg)
 	m, err := New(Config{
 		SpoolDir:   t.TempDir(),
@@ -248,6 +250,10 @@ func TestHTTPLifecycle(t *testing.T) {
 		"service_jobs_submitted_total 1",
 		"field_epochs_total 6",
 		"service_checkpoints_total 6",
+		"field_plan_cache_hits_total",
+		"field_plan_cache_misses_total",
+		"routing_solves_total",
+		"routing_augment_paths_total",
 	} {
 		if !strings.Contains(mbuf.String(), want) {
 			t.Errorf("final metrics lack %q", want)

@@ -85,7 +85,16 @@ type Cluster struct {
 	// Level[v] is v's hop count to the head (Level[Head] = 0);
 	// unreachable sensors hold -1.
 	Level []int
+	// rev counts connectivity rebuilds; see ConnectivityRev.
+	rev uint64
 }
+
+// ConnectivityRev returns a revision counter that changes whenever the
+// connectivity graph is rebuilt (initial build, MarkFailed,
+// RefreshConnectivity). Plan caches key on it: as long as the revision is
+// unchanged, G and Level are unchanged and a routing plan computed against
+// them remains valid.
+func (c *Cluster) ConnectivityRev() uint64 { return c.rev }
 
 // Build generates a cluster from cfg. The deployment is retried (with
 // derived seeds) until every sensor has a relaying path to the head, so
@@ -164,6 +173,7 @@ func (c *Cluster) rebuildGraph() {
 	}
 	c.G = g
 	c.Level = g.BFSLevels(Head)
+	c.rev++
 }
 
 // MarkFailed takes sensor v out of the network — battery death or

@@ -27,6 +27,32 @@ func TestBuildConnectedCluster(t *testing.T) {
 	}
 }
 
+// TestConnectivityRevBumps pins the cache-invalidation contract: the
+// revision changes whenever the connectivity graph is rebuilt, so any
+// plan keyed on an old revision can never be served after churn.
+func TestConnectivityRevBumps(t *testing.T) {
+	c, err := Build(DefaultConfig(12, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := c.ConnectivityRev()
+	if r0 == 0 {
+		t.Fatal("initial build should set a non-zero revision")
+	}
+	if c.ConnectivityRev() != r0 {
+		t.Fatal("revision must be stable between rebuilds")
+	}
+	c.MarkFailed(3)
+	r1 := c.ConnectivityRev()
+	if r1 == r0 {
+		t.Fatal("MarkFailed must bump the revision")
+	}
+	c.RefreshConnectivity()
+	if c.ConnectivityRev() == r1 {
+		t.Fatal("RefreshConnectivity must bump the revision")
+	}
+}
+
 func TestBuildValidation(t *testing.T) {
 	if _, err := Build(Config{Sensors: -1, Side: 1, SensorRange: 1, HeadRange: 1}); err == nil {
 		t.Error("negative sensors should error")
