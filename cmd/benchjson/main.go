@@ -5,6 +5,7 @@
 //	benchjson -bench 'GreedyScheduler|GroupCompatible|TestedOracle' -o BENCH_PR1.json
 //	benchjson -bench FieldEpoch -pkgs ./internal/field/ -o BENCH_PR3.json
 //	benchjson -count 3 -note "after power-matrix cache"
+//	benchjson -bench FieldEpochLarge -benchtime 1x -timeout 30m -o BENCH_PR6.json
 package main
 
 import (
@@ -51,18 +52,27 @@ func main() {
 	log.SetPrefix("benchjson: ")
 
 	var (
-		bench = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
-		pkgs  = flag.String("pkgs", "./...", "packages to benchmark")
-		count = flag.Int("count", 1, "benchmark repetitions (go test -count)")
-		out   = flag.String("o", "", "output file (default stdout)")
-		note  = flag.String("note", "", "free-form note stored in the snapshot")
+		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		pkgs      = flag.String("pkgs", "./...", "packages to benchmark")
+		count     = flag.Int("count", 1, "benchmark repetitions (go test -count)")
+		benchtime = flag.String("benchtime", "", "per-benchmark budget passed to go test -benchtime (e.g. 2s or 5x); expensive large-field fixtures want a fixed iteration count like 1x")
+		timeout   = flag.String("timeout", "", "overall go test -timeout (default: go's own)")
+		out       = flag.String("o", "", "output file (default stdout)")
+		note      = flag.String("note", "", "free-form note stored in the snapshot")
 	)
 	flag.Parse()
 
 	args := []string{
 		"test", "-run", "^$", "-bench", *bench, "-benchmem",
-		"-count", strconv.Itoa(*count), *pkgs,
+		"-count", strconv.Itoa(*count),
 	}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	if *timeout != "" {
+		args = append(args, "-timeout", *timeout)
+	}
+	args = append(args, *pkgs)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()

@@ -7,8 +7,47 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/exp"
+	"repro/internal/radio"
 	"repro/internal/topo"
 )
+
+// BenchmarkFieldEpochLarge measures one epoch of a 10,000-sensor field
+// with shadow churn every epoch — the large-field scale the sparse radio
+// medium exists for. With the dense per-cluster power matrices this
+// fixture's clusters alone would hold hundreds of millions of matrix
+// entries; the sparse rows keep the whole run within a few hundred MB.
+//
+//	go run ./cmd/benchjson -bench FieldEpochLarge -benchtime 1x -o BENCH_PR6.json
+func BenchmarkFieldEpochLarge(b *testing.B) {
+	prop := radio.NewLogDistance(3.5, 1)
+	cfg := topo.DefaultConfig(0, 0)
+	cfg.Prop = prop
+	cfg.SensorRange = 40
+	cfg.HeadRange = 2000
+	f := topo.BuildField(4242, 2000, 12, 10_000)
+	p := cluster.DefaultParams()
+	p.RateBps = 15
+	p.Cycle = 10 * time.Second
+	p.UseSectors = true
+	rt, err := New(f, Config{
+		Topo:              cfg,
+		Params:            p,
+		InterferenceRange: 80,
+		EpochCycles:       1,
+		Epochs:            1 << 30,
+		Churn:             Churn{ShadowSigmaDB: 3, ShadowEvery: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := exp.Options{Workers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.RunEpoch(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkFieldEpoch measures one churn-free field epoch — the
 // runtime's hot loop — sequential versus sharded. Same-channel clusters

@@ -79,10 +79,11 @@ func TestPlanCacheHitAfterQuietEpoch(t *testing.T) {
 	}
 }
 
-// TestPlanCacheInvalidation pins the churn contract: MarkFailed and
-// RefreshConnectivity bump the cluster's connectivity revision, so the
-// next epoch re-plans that cluster while the untouched clusters keep
-// hitting.
+// TestPlanCacheInvalidation pins the churn contract: a rebuild that
+// changes the connectivity graph (MarkFailed of a connected sensor) bumps
+// the cluster's revision, so the next epoch re-plans that cluster while
+// the untouched clusters keep hitting — and a refresh that flips nothing
+// keeps both the revision and the cached plan.
 func TestPlanCacheInvalidation(t *testing.T) {
 	rt, err := buildQuietField()
 	if err != nil {
@@ -124,12 +125,29 @@ func TestPlanCacheInvalidation(t *testing.T) {
 		}
 	}
 
-	// RefreshConnectivity between epochs: same story.
+	// RefreshConnectivity with an unchanged propagation model flips no
+	// link, so the revision holds and the cached plan is still served:
+	// quiet refreshes must not evict.
+	rev := rt.clusters[target].ConnectivityRev()
 	rt.clusters[target].RefreshConnectivity()
+	if got := rt.clusters[target].ConnectivityRev(); got != rev {
+		t.Fatalf("no-op refresh moved the revision: %d -> %d", rev, got)
+	}
+	if _, err := rt.RunEpoch(o); err != nil {
+		t.Fatal(err)
+	}
+	if pc := rt.PlanCache(target); pc.Misses != 2 || pc.Hits != 1 {
+		t.Fatalf("no-op refresh evicted the plan: hits=%d misses=%d, want 1/2", pc.Hits, pc.Misses)
+	}
+
+	// A refresh that actually changes connectivity (another failure) must
+	// still invalidate.
+	rt.clusters[target].MarkFailed(2)
+	rt.dead[target][2] = true
 	if _, err := rt.RunEpoch(o); err != nil {
 		t.Fatal(err)
 	}
 	if pc := rt.PlanCache(target); pc.Misses != 3 {
-		t.Fatalf("RefreshConnectivity did not invalidate: misses=%d, want 3", pc.Misses)
+		t.Fatalf("connectivity change did not invalidate: misses=%d, want 3", pc.Misses)
 	}
 }

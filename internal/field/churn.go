@@ -20,17 +20,28 @@ const (
 // churn applies the epoch boundary: battery depletion from the epoch's
 // energy accounting, injected relay faults, and shadowing shifts; then
 // recounts stranded sensors and re-planned clusters into the report.
+// All slices are Runtime scratch reused across epochs, so a steady-state
+// boundary allocates nothing proportional to field size.
 func (rt *Runtime) churn(epoch int, outs []clusterEpochOut, rep *EpochReport) {
-	changed := make([]bool, len(rt.clusters))
+	if rt.scratchChanged == nil {
+		rt.scratchChanged = make([]bool, len(rt.clusters))
+	}
+	changed := rt.scratchChanged
+	for i := range changed {
+		changed[i] = false
+	}
 
 	// Battery depletion: integrate the epoch's per-sensor draw and kill
 	// empties. Stranded-but-powered sensors drain sleep energy like
-	// everyone else; already-dead sensors are left alone.
+	// everyone else; already-dead sensors are left alone. Each cluster's
+	// deaths are collected and applied as one batch — one connectivity
+	// rebuild per cluster instead of one per death.
 	if rt.batteries != nil {
 		for k, c := range rt.clusters {
 			if c == nil || outs[k].energyUse == nil {
 				continue
 			}
+			victims := rt.scratchVictims[:0]
 			for v := 1; v <= c.Sensors(); v++ {
 				if rt.dead[k][v] {
 					continue
@@ -38,18 +49,24 @@ func (rt *Runtime) churn(epoch int, outs []clusterEpochOut, rep *EpochReport) {
 				rt.batteries[k][v] -= outs[k].energyUse[v]
 				if rt.batteries[k][v] <= 0 {
 					rt.batteries[k][v] = 0
-					rt.kill(k, v)
-					changed[k] = true
+					victims = append(victims, v)
 					rep.Deaths = append(rep.Deaths, Death{
 						Epoch: epoch, Cluster: k, Sensor: v, Cause: "battery",
 					})
 				}
 			}
+			if len(victims) > 0 {
+				rt.killBatch(k, victims)
+				changed[k] = true
+			}
+			rt.scratchVictims = victims
 		}
 	}
 
 	// Injected relay faults: with probability FaultRate per cluster, one
-	// uniformly drawn reachable sensor dies abruptly.
+	// uniformly drawn reachable sensor dies abruptly. (The draw sees the
+	// post-battery-kill graph, exactly as when deaths were applied one at
+	// a time.)
 	if rate := rt.cfg.Churn.FaultRate; rate > 0 {
 		seed := uint64(rt.cfg.churnSeed())
 		for k, c := range rt.clusters {
@@ -60,7 +77,8 @@ func (rt *Runtime) churn(epoch int, outs []clusterEpochOut, rep *EpochReport) {
 			if hashUnit(draw) >= rate {
 				continue
 			}
-			alive := c.Reachable()
+			alive := c.ReachableInto(rt.scratchReach)
+			rt.scratchReach = alive
 			if len(alive) == 0 {
 				continue
 			}
@@ -75,14 +93,26 @@ func (rt *Runtime) churn(epoch int, outs []clusterEpochOut, rep *EpochReport) {
 	}
 
 	// Shadowing shift: re-derive the field-wide per-link shadowing table
-	// and refresh every cluster's cached power matrix and connectivity.
-	// Only a LogDistance propagation model exposes the hook; the revision
-	// counter (not the epoch) keys the table so a resume replays it.
+	// and refresh every cluster's materialized link powers and
+	// connectivity. Only a LogDistance propagation model exposes the hook;
+	// the revision counter (not the epoch) keys the table so a resume
+	// replays it. A cluster counts as changed only when the shift actually
+	// flipped one of its links (its ConnectivityRev moved) — quiet
+	// clusters keep their routing plans and plan-cache hits.
 	if rt.shadowDue(epoch) {
 		rt.shadowRev++
+		revs := rt.scratchRevs[:0]
+		for _, c := range rt.clusters {
+			var r uint64
+			if c != nil {
+				r = c.ConnectivityRev()
+			}
+			revs = append(revs, r)
+		}
+		rt.scratchRevs = revs
 		rt.applyShadow()
 		for k, c := range rt.clusters {
-			if c != nil {
+			if c != nil && c.ConnectivityRev() != revs[k] {
 				changed[k] = true
 			}
 		}
@@ -103,6 +133,15 @@ func (rt *Runtime) kill(k, v int) {
 	rt.clusters[k].MarkFailed(v)
 }
 
+// killBatch removes several sensors of cluster k at once, paying one
+// connectivity rebuild for the whole batch.
+func (rt *Runtime) killBatch(k int, victims []int) {
+	for _, v := range victims {
+		rt.dead[k][v] = true
+	}
+	rt.clusters[k].MarkFailedBatch(victims)
+}
+
 // shadowDue reports whether the boundary after the given epoch shifts
 // the shadowing environment.
 func (rt *Runtime) shadowDue(epoch int) bool {
@@ -120,6 +159,8 @@ func (rt *Runtime) shadowDue(epoch int) bool {
 // shared LogDistance model and refreshes every cluster. Keying the table
 // by revision makes the radio environment a pure function of (seed,
 // revision): Resume re-applies it with one call regardless of history.
+// Refresh cost is O(materialized links) per cluster — the sparse medium
+// re-derives only the link powers it stores, not N^2 pairs.
 func (rt *Runtime) applyShadow() {
 	ld, ok := rt.cfg.Topo.Prop.(*radio.LogDistance)
 	if !ok || rt.shadowRev == 0 {

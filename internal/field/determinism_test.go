@@ -95,6 +95,63 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestDeterminismLargeField re-pins the Workers=1 vs Workers=8 contract
+// at a scale where the sparse medium actually matters: ~1,200 sensors
+// across ten clusters with faults and a shadow shift every epoch. Run it
+// under -race along with TestDeterminismAcrossWorkers — the large rows
+// make it the sparse store's concurrency probe.
+func TestDeterminismLargeField(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-field test")
+	}
+	build := func() (*topo.Field, Config) {
+		prop := radio.NewLogDistance(3.5, 1)
+		cfg := topo.DefaultConfig(0, 0)
+		cfg.Prop = prop
+		cfg.SensorRange = 40
+		cfg.HeadRange = 900
+		f := topo.BuildField(4242, 800, 10, 1200)
+		p := cluster.DefaultParams()
+		p.RateBps = 15
+		p.Cycle = 10 * time.Second
+		p.UseSectors = true
+		p.Seed = 7
+		return f, Config{
+			Topo:              cfg,
+			Params:            p,
+			InterferenceRange: 80,
+			BatteryJoules:     200,
+			EpochCycles:       1,
+			Epochs:            2,
+			Churn: Churn{
+				FaultRate:     0.6,
+				ShadowSigmaDB: 3,
+				ShadowEvery:   1,
+			},
+		}
+	}
+	run := func(workers int) ([]byte, []byte) {
+		f, cfg := build()
+		rt, err := New(f, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := rt.Run(exp.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return summaryJSON(t, s), snapshotJSON(t, rt)
+	}
+	sum1, snap1 := run(1)
+	sum8, snap8 := run(8)
+	if !bytes.Equal(sum1, sum8) {
+		t.Fatalf("large-field summary differs across worker counts:\n 1: %s\n 8: %s", sum1, sum8)
+	}
+	if !bytes.Equal(snap1, snap8) {
+		t.Fatal("large-field snapshot differs across worker counts")
+	}
+}
+
 // TestCheckpointResume pins the snapshot sufficiency contract: serialize
 // at an epoch boundary, rebuild the field from scratch, resume, and the
 // final summary matches the uninterrupted run byte for byte.

@@ -172,8 +172,11 @@ type EpochReport struct {
 	// Stranded counts live sensors without a relaying path after the
 	// boundary's re-planning.
 	Stranded int `json:"stranded"`
-	// Replans counts clusters whose topology changed at the boundary
-	// (deaths or shadowing) and were re-planned for the next epoch.
+	// Replans counts clusters whose connectivity actually changed at the
+	// boundary (deaths, or a shadowing shift that flipped at least one
+	// link) and will be re-planned for the next epoch. A shadow shift
+	// that leaves a cluster's graph intact does not count — its cached
+	// routing plan stays valid.
 	Replans int `json:"replans"`
 }
 
@@ -274,6 +277,23 @@ type Runtime struct {
 	// no locking is needed; the plan itself is a pure function of the key,
 	// so hits cannot perturb the determinism contract.
 	planCaches []*routing.PlanCache
+
+	// Epoch scratch, reused across epochs so a steady-state epoch
+	// allocates nothing proportional to the cluster count. All of it is
+	// touched only between RunEpoch's barrier and its return (or inside
+	// churn), single-threaded.
+	scratchOuts       []clusterEpochOut
+	scratchChanged    []bool
+	scratchVictims    []int
+	scratchReach      []int
+	scratchRevs       []uint64
+	scratchDuties     []time.Duration
+	scratchDutyColors []int
+
+	// lastRadioRefreshed remembers the field-wide cumulative refreshed-
+	// links counter at the previous emit, so the radio_refresh_links_total
+	// counter advances by per-epoch deltas.
+	lastRadioRefreshed uint64
 
 	sum Summary
 }
@@ -381,7 +401,7 @@ func (rt *Runtime) live(k int) int {
 	if c == nil {
 		return 0
 	}
-	return len(c.Reachable())
+	return c.ReachableCount()
 }
 
 // clusterEpochOut is one worker's per-cluster product, aggregated
@@ -410,7 +430,13 @@ func (rt *Runtime) RunEpoch(o exp.Options) (*Epoch, error) {
 	epoch := rt.epoch
 	p := rt.cfg.Params
 	cycles := rt.cfg.epochCycles()
-	outs := make([]clusterEpochOut, len(rt.clusters))
+	if rt.scratchOuts == nil {
+		rt.scratchOuts = make([]clusterEpochOut, len(rt.clusters))
+	}
+	outs := rt.scratchOuts
+	for i := range outs {
+		outs[i] = clusterEpochOut{}
+	}
 
 	runCluster := func(k int) {
 		out := &outs[k]
@@ -500,8 +526,8 @@ func (rt *Runtime) RunEpoch(o exp.Options) (*Epoch, error) {
 		Summaries:   make([]*cluster.Summary, len(rt.clusters)),
 		Unreachable: make([]int, len(rt.clusters)),
 	}
-	var duties []time.Duration
-	var dutyColors []int
+	duties := rt.scratchDuties[:0]
+	dutyColors := rt.scratchDutyColors[:0]
 	for k := range rt.clusters {
 		out := &outs[k]
 		ep.Unreachable[k] = out.unreachable
@@ -532,6 +558,7 @@ func (rt *Runtime) RunEpoch(o exp.Options) (*Epoch, error) {
 		return nil, err
 	}
 	ep.Report.ColoredCycle = colored
+	rt.scratchDuties, rt.scratchDutyColors = duties, dutyColors
 
 	// The Fig. 7(c) steady-state lifetime estimate comes from the first
 	// epoch the field ran, before churn reshapes the load.

@@ -31,6 +31,14 @@ const (
 	// first epoch).
 	MetricPlanCacheHits   = "field_plan_cache_hits_total"
 	MetricPlanCacheMisses = "field_plan_cache_misses_total"
+	// MetricRadioPairs gauges the directed link powers materialized across
+	// all cluster mediums — the sparse radio store's memory footprint in
+	// row entries (the dense predecessor held N^2 per cluster).
+	MetricRadioPairs = "radio_pairs_materialized"
+	// MetricRadioRefreshLinks counts link power recomputations across all
+	// cluster mediums: row rebuilds from power changes/deaths plus
+	// incremental shadowing refreshes.
+	MetricRadioRefreshLinks = "radio_refresh_links_total"
 )
 
 var (
@@ -61,6 +69,8 @@ func RegisterMetrics(reg *obs.Registry) {
 	reg.Gauge(MetricClustersLive, "clusters that ran in the latest epoch")
 	reg.Counter(MetricPlanCacheHits, "epoch-boundary runner builds that reused a cached routing plan")
 	reg.Counter(MetricPlanCacheMisses, "epoch-boundary runner builds that re-solved the routing flow network")
+	reg.Gauge(MetricRadioPairs, "directed link powers materialized across all cluster radio mediums")
+	reg.Counter(MetricRadioRefreshLinks, "link power recomputations across all cluster radio mediums")
 	for ch := 0; ch < 6; ch++ {
 		reg.Histogram(seriesShardSeconds(ch), "per-epoch shard wall-clock in seconds", nil)
 	}
@@ -84,6 +94,18 @@ func (rt *Runtime) emit(rep *EpochReport, ps plannerStats, o obs.Observer) {
 	o.Add(MetricPlanCacheMisses, float64(ps.cacheMisses))
 	o.Add(routing.MetricSolves, float64(ps.solves))
 	o.Add(routing.MetricAugmentPaths, float64(ps.augments))
+	var pairs, refreshed uint64
+	for _, c := range rt.clusters {
+		if c == nil {
+			continue
+		}
+		st := c.Med.Stats()
+		pairs += uint64(st.Pairs)
+		refreshed += st.Refreshed
+	}
+	o.Set(MetricRadioPairs, float64(pairs))
+	o.Add(MetricRadioRefreshLinks, float64(refreshed-rt.lastRadioRefreshed))
+	rt.lastRadioRefreshed = refreshed
 	for _, d := range rep.Deaths {
 		if d.Cause == "battery" {
 			o.Add(seriesDeathBattery, 1)

@@ -45,6 +45,21 @@ func (g *Undirected) AddEdge(u, v int) {
 	g.adj[v] = append(g.adj[v], u)
 }
 
+// AddEdgeUnique inserts the undirected edge {u,v} without the duplicate
+// scan AddEdge performs. Callers must guarantee the edge is not already
+// present — builders that enumerate each pair exactly once (like the
+// connectivity rebuild over sparse neighbor rows) use it to avoid the
+// O(degree) check per insertion, which matters at 10k-node clusters.
+func (g *Undirected) AddEdgeUnique(u, v int) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
 // HasEdge reports whether the edge {u,v} exists.
 func (g *Undirected) HasEdge(u, v int) bool {
 	g.check(u)
@@ -81,6 +96,30 @@ func (g *Undirected) Edges() [][2]int {
 		}
 	}
 	return es
+}
+
+// Equal reports whether g and h have identical vertex counts and
+// elementwise-identical adjacency lists. It compares insertion order, not
+// just set membership — two graphs built by the same deterministic
+// procedure compare equal, which is exactly what revision-change detection
+// needs: a false negative only costs a spurious revision bump, never a
+// stale one.
+func (g *Undirected) Equal(h *Undirected) bool {
+	if g.n != h.n {
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		a, b := g.adj[u], h.adj[u]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Clone returns a deep copy of g.

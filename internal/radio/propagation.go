@@ -156,6 +156,15 @@ func (m *LogDistance) ForLink(from, to int) *LogDistance {
 
 // ReceivedPower implements Propagation.
 func (m *LogDistance) ReceivedPower(txPower, d float64) float64 {
+	return m.linkReceivedPower(txPower, d, m.from, m.to)
+}
+
+// linkReceivedPower is ReceivedPower for an explicit ordered link. The
+// Medium's fallback power path uses it directly so that per-link shadowed
+// queries need no ForLink copy (which would allocate on every far-pair
+// lookup). The arithmetic is identical to ReceivedPower on a ForLink copy,
+// bit for bit — the sparse-medium property tests rely on that.
+func (m *LogDistance) linkReceivedPower(txPower, d float64, from, to int) float64 {
 	if d <= 0 {
 		return txPower
 	}
@@ -164,7 +173,7 @@ func (m *LogDistance) ReceivedPower(txPower, d float64) float64 {
 	}
 	pr := txPower * m.P0Gain * math.Pow(m.D0/d, m.Exponent)
 	if m.ShadowDB != nil {
-		pr *= math.Pow(10, m.ShadowDB(m.from, m.to)/10)
+		pr *= math.Pow(10, m.ShadowDB(from, to)/10)
 	}
 	return pr
 }
@@ -198,6 +207,46 @@ func HashShadow(seed int64, sigmaDB float64) func(from, to int) float64 {
 		z := (sum - 2) / math.Sqrt(1.0/3.0)
 		return z * sigmaDB
 	}
+}
+
+// MaxRange returns an upper bound on the largest distance at which model m
+// still delivers at least floor watts when transmitting at txPower watts.
+// It exploits the Propagation contract (received power is monotonically
+// non-increasing in distance) with a doubling search plus bisection, so it
+// works for any model without an analytic inverse. The sparse Medium uses
+// it to size its spatial index: pairs beyond MaxRange of the pair floor
+// cannot matter to any threshold decision and are answered analytically
+// instead of being materialized.
+//
+// A non-positive floor (or a range beyond 10^12 m) returns +Inf — every
+// pair is in range; a non-positive txPower returns 0.
+func MaxRange(m Propagation, txPower, floor float64) float64 {
+	if txPower <= 0 {
+		return 0
+	}
+	if floor <= 0 {
+		return math.Inf(1)
+	}
+	if m.ReceivedPower(txPower, 1e-3) < floor {
+		return 0
+	}
+	hi := 1.0
+	for m.ReceivedPower(txPower, hi) >= floor {
+		hi *= 2
+		if hi > 1e12 {
+			return math.Inf(1)
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if m.ReceivedPower(txPower, mid) >= floor {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
 }
 
 // TxPowerForRange returns the transmit power needed under model m for the

@@ -89,11 +89,13 @@ type Cluster struct {
 	rev uint64
 }
 
-// ConnectivityRev returns a revision counter that changes whenever the
-// connectivity graph is rebuilt (initial build, MarkFailed,
-// RefreshConnectivity). Plan caches key on it: as long as the revision is
-// unchanged, G and Level are unchanged and a routing plan computed against
-// them remains valid.
+// ConnectivityRev returns a revision counter that changes whenever a
+// connectivity rebuild (initial build, MarkFailed, RefreshConnectivity)
+// actually changes the graph. Plan caches key on it: as long as the
+// revision is unchanged, G and Level are unchanged and a routing plan
+// computed against them remains valid. A shadowing shift that flips no
+// link leaves the revision alone, so quiet clusters keep hitting their
+// plan cache.
 func (c *Cluster) ConnectivityRev() uint64 { return c.rev }
 
 // Build generates a cluster from cfg. The deployment is retried (with
@@ -156,6 +158,15 @@ func applyPowers(med *radio.Medium, cfg Config, prop radio.Propagation) {
 // rebuildGraph recomputes the connectivity graph and levels from the
 // medium. A link counts only when both directions decode and, when
 // MaxLinkLoss is set, both directions are reliable enough.
+//
+// Instead of scanning all pairs, it walks the medium's sparse neighbor
+// rows: a receiver absent from u's row lies beyond u's materialization
+// cutoff, so u's signal there is below the pair floor — a margin under
+// RxThreshold even with the shadowing headroom — and the link cannot be
+// InRange, let alone Reliable. Each unordered pair is visited at most
+// once (v > u within u's row), which lets the insert skip AddEdge's
+// duplicate scan. The revision is bumped only when the rebuild actually
+// changed the graph.
 func (c *Cluster) rebuildGraph() {
 	n := c.Med.N()
 	g := graph.NewUndirected(n)
@@ -163,13 +174,20 @@ func (c *Cluster) rebuildGraph() {
 		// Sensor-head edge: the sensor must reach the head (the head's
 		// big transmit power makes the reverse direction a given).
 		if c.Reliable(u, Head) {
-			g.AddEdge(u, Head)
+			g.AddEdgeUnique(u, Head)
 		}
-		for v := u + 1; v < n; v++ {
+		for _, v32 := range c.Med.Neighbors(u) {
+			v := int(v32)
+			if v <= u { // each pair once; also skips the head edge redone above
+				continue
+			}
 			if c.Reliable(u, v) && c.Reliable(v, u) {
-				g.AddEdge(u, v)
+				g.AddEdgeUnique(u, v)
 			}
 		}
+	}
+	if c.G != nil && c.G.Equal(g) {
+		return // nothing flipped: keep G, Level, and the revision
 	}
 	c.G = g
 	c.Level = g.BFSLevels(Head)
@@ -188,12 +206,32 @@ func (c *Cluster) MarkFailed(v int) {
 	c.rebuildGraph()
 }
 
-// RefreshConnectivity recomputes the received-power cache from the
-// (possibly mutated) propagation model and rebuilds the connectivity
-// graph and hop levels — the companion to MarkFailed for environmental
-// churn. Callers mutate the propagation model in place (e.g. install a
-// new ShadowDB on a shared LogDistance) and then call this; failed
-// sensors stay failed because their transmit power remains zero.
+// MarkFailedBatch takes several sensors out of the network at once,
+// paying for a single connectivity rebuild instead of one per death. The
+// result is identical to calling MarkFailed on each in any order. An
+// empty batch is a no-op.
+func (c *Cluster) MarkFailedBatch(victims []int) {
+	if len(victims) == 0 {
+		return
+	}
+	for _, v := range victims {
+		if v == Head {
+			panic("topo: the cluster head cannot fail (it is mains powered)")
+		}
+		c.Med.SetTxPower(v, 0)
+	}
+	c.rebuildGraph()
+}
+
+// RefreshConnectivity recomputes the medium's materialized link powers
+// from the (possibly mutated) propagation model and rebuilds the
+// connectivity graph and hop levels — the companion to MarkFailed for
+// environmental churn. Callers mutate the propagation model in place
+// (e.g. install a new ShadowDB on a shared LogDistance) and then call
+// this; failed sensors stay failed because their transmit power remains
+// zero (their rows are empty and cost nothing). Cost is O(materialized
+// links + graph rebuild), not O(N^2); if no link flips, ConnectivityRev
+// is left unchanged.
 func (c *Cluster) RefreshConnectivity() {
 	c.Med.Refresh()
 	c.rebuildGraph()
@@ -201,14 +239,31 @@ func (c *Cluster) RefreshConnectivity() {
 
 // Reachable returns the sensors that currently have a relaying path to
 // the head, ascending.
-func (c *Cluster) Reachable() []int {
-	var out []int
+func (c *Cluster) Reachable() []int { return c.ReachableInto(nil) }
+
+// ReachableInto appends the reachable sensors (ascending) to buf[:0] and
+// returns the result, letting per-epoch callers reuse one scratch slice
+// instead of allocating per draw.
+func (c *Cluster) ReachableInto(buf []int) []int {
+	buf = buf[:0]
 	for v := 1; v < c.Med.N(); v++ {
 		if c.Level[v] > 0 {
-			out = append(out, v)
+			buf = append(buf, v)
 		}
 	}
-	return out
+	return buf
+}
+
+// ReachableCount returns how many sensors currently have a relaying path
+// to the head, without materializing the id slice.
+func (c *Cluster) ReachableCount() int {
+	n := 0
+	for v := 1; v < c.Med.N(); v++ {
+		if c.Level[v] > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Reliable reports whether the directed link tx -> rx decodes and meets

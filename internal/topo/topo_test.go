@@ -28,8 +28,9 @@ func TestBuildConnectedCluster(t *testing.T) {
 }
 
 // TestConnectivityRevBumps pins the cache-invalidation contract: the
-// revision changes whenever the connectivity graph is rebuilt, so any
-// plan keyed on an old revision can never be served after churn.
+// revision changes exactly when a rebuild changes the connectivity
+// graph, so a plan keyed on an old revision can never be served after
+// real churn — and a no-op refresh never evicts a valid plan.
 func TestConnectivityRevBumps(t *testing.T) {
 	c, err := Build(DefaultConfig(12, 7))
 	if err != nil {
@@ -47,9 +48,38 @@ func TestConnectivityRevBumps(t *testing.T) {
 	if r1 == r0 {
 		t.Fatal("MarkFailed must bump the revision")
 	}
+	// The model did not change, so this refresh flips no link: the graph
+	// is unchanged and the revision must hold — quiet clusters keep
+	// hitting their plan caches.
 	c.RefreshConnectivity()
-	if c.ConnectivityRev() == r1 {
-		t.Fatal("RefreshConnectivity must bump the revision")
+	if c.ConnectivityRev() != r1 {
+		t.Fatal("no-op RefreshConnectivity must keep the revision")
+	}
+}
+
+// TestConnectivityRevTracksShadowChurn drives RefreshConnectivity with a
+// propagation mutation violent enough to flip links and checks the
+// revision moves with the graph.
+func TestConnectivityRevTracksShadowChurn(t *testing.T) {
+	cfg := DefaultConfig(25, 11)
+	ld := radio.NewLogDistance(3.5, 1)
+	cfg.Prop = ld
+	c, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := c.ConnectivityRev()
+	g0 := c.G.Clone()
+	for rev := int64(1); rev <= 8; rev++ {
+		ld.ShadowDB = radio.HashShadow(rev, 6)
+		c.RefreshConnectivity()
+		changed := !c.G.Equal(g0)
+		bumped := c.ConnectivityRev() != r0
+		if changed != bumped {
+			t.Fatalf("shadow rev %d: graph changed=%v but revision bumped=%v", rev, changed, bumped)
+		}
+		r0 = c.ConnectivityRev()
+		g0 = c.G.Clone()
 	}
 }
 
