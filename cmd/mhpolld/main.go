@@ -1,14 +1,24 @@
 // Command mhpolld is the long-running simulation job daemon: an HTTP
-// service that accepts field-simulation and experiment-sweep jobs, runs
-// them on a bounded worker pool, streams epoch progress over SSE and
-// serves the process metrics registry at /metrics.
+// service that accepts field-simulation and experiment-sweep jobs,
+// schedules them by class and priority on a bounded worker pool, streams
+// epoch progress over SSE and serves the process metrics registry at
+// /metrics.
 //
 //	mhpolld -addr :8677 -spool /var/lib/mhpolld
+//
+// Scheduling: jobs dispatch by class (interactive > batch > background),
+// then priority, then earliest deadline, then submit order. Jobs with a
+// retry policy back off exponentially between failed attempts and
+// dead-letter once the budget is spent (resurrect with POST
+// /v1/jobs/{id}/retry); a per-spec circuit breaker parks repeat
+// offenders for -breaker-cooldown after -breaker-threshold consecutive
+// failures.
 //
 // Crash safety: running field jobs checkpoint to the spool directory at
 // every epoch boundary; restarting the daemon over the same spool
 // re-queues interrupted jobs and resumes them from their checkpoints,
 // producing the same final summaries an uninterrupted run would have.
+// Backoff schedules survive restarts the same way.
 //
 // Shutdown: SIGINT/SIGTERM stops accepting requests, cancels running
 // jobs (each stops at its next epoch boundary, checkpoint already on
@@ -43,6 +53,9 @@ func main() {
 		jobs  = flag.Int("jobs", 2, "jobs executing concurrently")
 		queue = flag.Int("queue", 64, "queued-job limit before submissions get 429")
 		drain = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline")
+
+		breakerThreshold = flag.Int("breaker-threshold", 5, "consecutive failures of one spec that trip its circuit breaker (negative disables)")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker parks attempts before a half-open probe")
 	)
 	flag.Parse()
 
@@ -54,11 +67,13 @@ func main() {
 	logger := log.Default()
 
 	m, err := service.New(service.Config{
-		SpoolDir:   *spool,
-		Workers:    *jobs,
-		QueueDepth: *queue,
-		Obs:        reg.Observer(),
-		Log:        logger,
+		SpoolDir:         *spool,
+		Workers:          *jobs,
+		QueueDepth:       *queue,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Obs:              reg.Observer(),
+		Log:              logger,
 	})
 	if err != nil {
 		log.Fatal(err)

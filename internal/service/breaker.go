@@ -1,0 +1,150 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Breaker states. A breaker guards one spec fingerprint: a streak of
+// failures trips it open, parking every further attempt for that spec
+// until the cooldown elapses; the first attempt after the cooldown runs
+// as a half-open probe — success closes the breaker, failure re-opens
+// it for another cooldown.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Breaker defaults (Config.BreakerThreshold / BreakerCooldown override).
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 30 * time.Second
+)
+
+// breaker tracks one fingerprint's failure streak.
+type breaker struct {
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // last trip (or half-open re-trip)
+}
+
+// breakerSet is the manager's breaker table. threshold <= 0 disables
+// breaking entirely (every gate allows).
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	bs        map[string]*breaker
+	obs       obs.Observer
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration, o obs.Observer) *breakerSet {
+	if threshold == 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		bs:        make(map[string]*breaker),
+		obs:       o,
+	}
+}
+
+// gate is consulted right before an attempt runs. It returns wait > 0
+// when the fingerprint's breaker is open and still cooling — the caller
+// parks the job for that long instead of running it. When the cooldown
+// has elapsed the breaker flips to half-open and the attempt proceeds as
+// the probe.
+func (s *breakerSet) gate(fp string) (wait time.Duration) {
+	if s == nil || s.threshold <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.bs[fp]
+	if b == nil || b.state != breakerOpen {
+		return 0
+	}
+	remaining := b.openedAt.Add(s.cooldown).Sub(s.now())
+	if remaining > 0 {
+		return remaining
+	}
+	b.state = breakerHalfOpen
+	s.gaugeLocked()
+	return 0
+}
+
+// success records a successful attempt: the streak resets and a
+// half-open probe closes the breaker.
+func (s *breakerSet) success(fp string) {
+	if s == nil || s.threshold <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.bs[fp]
+	if b == nil {
+		return
+	}
+	delete(s.bs, fp) // closed with no streak = no state worth keeping
+	s.gaugeLocked()
+}
+
+// failure records a failed attempt. A half-open probe failure re-opens
+// immediately; a closed breaker opens once the streak reaches the
+// threshold. Reports whether the breaker is now open.
+func (s *breakerSet) failure(fp string) bool {
+	if s == nil || s.threshold <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.bs[fp]
+	if b == nil {
+		b = &breaker{}
+		s.bs[fp] = b
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = s.now()
+	default:
+		b.failures++
+		if b.failures >= s.threshold {
+			b.state = breakerOpen
+			b.openedAt = s.now()
+			b.failures = 0
+		}
+	}
+	s.gaugeLocked()
+	return b.state == breakerOpen
+}
+
+// gaugeLocked publishes the per-state breaker counts. Must run under
+// s.mu.
+func (s *breakerSet) gaugeLocked() {
+	if s.obs == nil {
+		return
+	}
+	var open, half int
+	for _, b := range s.bs {
+		switch b.state {
+		case breakerOpen:
+			open++
+		case breakerHalfOpen:
+			half++
+		}
+	}
+	s.obs.Set(seriesBreakerOpen, float64(open))
+	s.obs.Set(seriesBreakerHalfOpen, float64(half))
+}

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPRetryAndFilters drives the v1 reliability surface over HTTP:
+// a failing probe dead-letters, shows up under ?state=dead and its
+// class filter, resurrects via POST /v1/jobs/{id}/retry, and the retry
+// endpoint's 404/409 edges behave.
+func TestHTTPRetryAndFilters(t *testing.T) {
+	ts, m := newTestServer(t, 1, 8)
+
+	// A background probe that fails its whole first budget, then
+	// succeeds after resurrection.
+	spec := `{
+	  "type": "probe",
+	  "class": "background",
+	  "probe": {"fail_first": 2},
+	  "retry": {"max_attempts": 2, "backoff_ms": 1, "max_backoff_ms": 4}
+	}`
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var j Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.Class != ClassBackground {
+		t.Fatalf("submit response class %q", j.Class)
+	}
+	waitJob(t, m, j.ID, 30*time.Second, func(x Job) bool { return x.State == StateDead })
+
+	// A second, healthy batch probe to make the filters selective.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/jobs", `{"type":"probe","probe":{}}`)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d %s", resp2.StatusCode, body2)
+	}
+	var ok Job
+	if err := json.Unmarshal(body2, &ok); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, m, ok.ID, 30*time.Second, func(x Job) bool { return x.State == StateDone })
+
+	// List filters.
+	var list struct{ Jobs []Job }
+	getJSON(t, ts.URL+"/v1/jobs?state=dead", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != j.ID {
+		t.Fatalf("?state=dead: %+v", list.Jobs)
+	}
+	if list.Jobs[0].RetryState != RetryExhausted || list.Jobs[0].Failures != 2 {
+		t.Fatalf("dead job JSON lacks retry bookkeeping: %+v", list.Jobs[0])
+	}
+	getJSON(t, ts.URL+"/v1/jobs?class=background", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != j.ID {
+		t.Fatalf("?class=background: %+v", list.Jobs)
+	}
+	getJSON(t, ts.URL+"/v1/jobs?state=done&class=batch", &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != ok.ID {
+		t.Fatalf("?state=done&class=batch: %+v", list.Jobs)
+	}
+	getJSON(t, ts.URL+"/v1/jobs?state=running", &list)
+	if len(list.Jobs) != 0 {
+		t.Fatalf("?state=running: %+v", list.Jobs)
+	}
+	getJSON(t, ts.URL+"/v1/jobs", &list)
+	if len(list.Jobs) != 2 {
+		t.Fatalf("unfiltered list: %+v", list.Jobs)
+	}
+
+	// Retry endpoint edges: unknown id 404s, non-dead job 409s.
+	rresp, _ := postJSON(t, ts.URL+"/v1/jobs/ffffffffffffffff/retry", "")
+	if rresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("retry unknown: %d", rresp.StatusCode)
+	}
+	rresp, _ = postJSON(t, ts.URL+"/v1/jobs/"+ok.ID+"/retry", "")
+	if rresp.StatusCode != http.StatusConflict {
+		t.Fatalf("retry of done job: %d, want 409", rresp.StatusCode)
+	}
+
+	// Resurrection: attempt 3 > fail_first 2 succeeds.
+	rresp, rbody := postJSON(t, ts.URL+"/v1/jobs/"+j.ID+"/retry", "")
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("retry: %d %s", rresp.StatusCode, rbody)
+	}
+	var res Job
+	if err := json.Unmarshal(rbody, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.State != StateQueued || res.Failures != 0 {
+		t.Fatalf("retry response: %+v", res)
+	}
+	fin := waitJob(t, m, j.ID, 30*time.Second, func(x Job) bool { return x.State.Terminal() })
+	if fin.State != StateDone {
+		t.Fatalf("resurrected via HTTP finished %s (%s)", fin.State, fin.Error)
+	}
+	getJSON(t, ts.URL+"/v1/jobs?state=dead", &list)
+	if len(list.Jobs) != 0 {
+		t.Fatalf("dead filter after resurrection: %+v", list.Jobs)
+	}
+}
+
+// TestHTTPSchedValidation: the scheduling envelope is validated at the
+// door with 400s.
+func TestHTTPSchedValidation(t *testing.T) {
+	ts, _ := newTestServer(t, 1, 8)
+	for _, body := range []string{
+		`{"type":"probe","probe":{},"class":"urgent"}`,
+		`{"type":"probe","probe":{},"deadline_ms":-1}`,
+		`{"type":"probe","probe":{},"delay_ms":-5}`,
+		`{"type":"probe","probe":{},"every_ms":-5}`,
+		`{"type":"probe","probe":{},"retry":{"max_attempts":101}}`,
+		`{"type":"probe","probe":{},"retry":{"max_attempts":-1}}`,
+		`{"type":"probe","probe":{},"retry":{"backoff_ms":100,"max_backoff_ms":10}}`,
+		`{"type":"probe","probe":{"sleep_ms":-1}}`,
+		`{"type":"probe"}`,
+		`{"type":"probe","probe":{},"field":{"heads":1,"side":1,"sensors":0,"sensor_range":1,"interference_range":1}}`,
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %s: %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPReliabilityMetrics: the retry/dead-letter counters and breaker
+// gauges are registered and move under a dead-lettering workload.
+func TestHTTPReliabilityMetrics(t *testing.T) {
+	ts, m := newTestServer(t, 1, 8)
+	resp, body := postJSON(t, ts.URL+"/v1/jobs",
+		`{"type":"probe","probe":{"fail":true},"retry":{"max_attempts":3,"backoff_ms":1,"max_backoff_ms":4}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var j Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, m, j.ID, 30*time.Second, func(x Job) bool { return x.State == StateDead })
+
+	// The counters land just after the state flip the wait observed, so
+	// poll the scrape until every assertion holds.
+	wants := []string{
+		"service_retries_total 2",
+		"service_deadletter_total 1",
+		`service_jobs_finished_total{state="dead"} 1`,
+		`service_breaker_state{state="open"}`,
+		`service_breaker_state{state="half_open"}`,
+		"service_sched_delay_seconds_count",
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mresp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mresp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics: %d", mresp.StatusCode)
+		}
+		var buf bytes.Buffer
+		_, err = buf.ReadFrom(mresp.Body)
+		mresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scrape := buf.String()
+		missing := ""
+		for _, want := range wants {
+			if !strings.Contains(scrape, want) {
+				missing = want
+				break
+			}
+		}
+		if missing == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never showed %q; scrape:\n%s", missing, scrape)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

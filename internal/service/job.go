@@ -10,15 +10,18 @@ import (
 	"time"
 )
 
-// State is a job's lifecycle position. The machine is strictly forward:
+// State is a job's lifecycle position:
 //
-//	queued → running → done | failed | cancelled
-//	          └──────── (daemon killed) ────────┐
-//	queued ←────────────────────────────────────┘  (re-queued on restart)
+//	queued → running → done | failed | cancelled | dead
+//	   ↑         │
+//	   ├─────────┤  retry backoff / breaker park (NextRun in the future)
+//	   ├─────────┘  daemon killed (re-queued on restart, checkpoint intact)
+//	   ├── done ─┘  recurring spec (every_ms): next run queued at +every
+//	   └── dead ──  POST /v1/jobs/{id}/retry (operator resurrection)
 //
-// The only backward edge is crash recovery: a job whose manifest says
-// running when the daemon starts was interrupted, and goes back to
-// queued with its checkpoint intact.
+// While queued, Job.RetryState distinguishes a plain queue wait from a
+// backoff park ("backoff") or an open-breaker park ("parked"); StateDead
+// ("exhausted") is terminal until explicitly resurrected.
 type State string
 
 // Job states.
@@ -28,11 +31,15 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateDead is the dead-letter state: the job exhausted its retry
+	// budget. Terminal for the scheduler (never re-queued automatically)
+	// but resurrectable via Manager.Retry.
+	StateDead State = "dead"
 )
 
 // Terminal reports whether s is an end state.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateDead
 }
 
 // Job is one submitted simulation. The struct doubles as the spool
@@ -46,15 +53,39 @@ type Job struct {
 	State State  `json:"state"`
 	Error string `json:"error,omitempty"`
 
+	// Class is the resolved dispatch class (spec class, batch default),
+	// denormalized here so list filters and operators need not re-derive
+	// it. Fingerprint is the spec's canonical hash — the circuit
+	// breaker's key and the dead-letter spool's cross-reference.
+	Class       string `json:"class,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	// Deadline is the resolved soft completion target (EDF tie-break
+	// only, never enforced by killing).
+	Deadline *time.Time `json:"deadline,omitempty"`
+
 	// Epoch counts completed (checkpointed) epochs; Epochs is the
 	// target. Both stay 0 for sweep jobs, which have no boundary to
 	// report progress at.
 	Epoch  int `json:"epoch"`
 	Epochs int `json:"epochs,omitempty"`
 
-	// Attempts counts the times a worker picked the job up. 1 means it
-	// never got interrupted; each crash-recovery re-queue adds one.
+	// Attempts counts the times a worker picked the job up. Each
+	// crash-recovery re-queue, retry attempt and recurring run adds one.
 	Attempts int `json:"attempts"`
+	// Failures counts consecutive failed attempts of the current run;
+	// it resets on success and on resurrection, and is what the retry
+	// budget meters.
+	Failures int `json:"failures,omitempty"`
+	// RetryState is the queued-job holding pattern: "" (plain queue
+	// wait), "backoff", "parked" (breaker open) or "exhausted" (dead).
+	RetryState string `json:"retry_state,omitempty"`
+	// NextRun is when a queued job becomes due (backoff target, breaker
+	// cooldown end, or next recurrence); nil means due immediately.
+	NextRun *time.Time `json:"next_run,omitempty"`
+	// Runs counts completed successful runs — only ever >1 for recurring
+	// specs.
+	Runs int `json:"runs,omitempty"`
 
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`

@@ -23,12 +23,28 @@ const (
 	MetricResumes = "service_resumes_total"
 	// MetricHTTPRequests counts API requests, labeled code="<status>".
 	MetricHTTPRequests = "service_http_requests_total"
+	// MetricRetries counts failed attempts re-queued under a backoff
+	// park (dead-letter transitions are not retries and count elsewhere).
+	MetricRetries = "service_retries_total"
+	// MetricDeadLetter counts jobs moved to the dead-letter spool after
+	// exhausting their retry budget.
+	MetricDeadLetter = "service_deadletter_total"
+	// MetricBreakerState gauges circuit breakers per state, labeled
+	// state="open"|"half_open" (closed breakers carry no state worth
+	// counting).
+	MetricBreakerState = "service_breaker_state"
+	// MetricSchedDelay is a histogram of seconds between a job becoming
+	// due and a worker dispatching it — the scheduler's queueing delay.
+	MetricSchedDelay = "service_sched_delay_seconds"
 )
 
 var (
-	seriesJobsDone      = obs.Series(MetricJobsFinished, "state", string(StateDone))
-	seriesJobsFailed    = obs.Series(MetricJobsFinished, "state", string(StateFailed))
-	seriesJobsCancelled = obs.Series(MetricJobsFinished, "state", string(StateCancelled))
+	seriesJobsDone        = obs.Series(MetricJobsFinished, "state", string(StateDone))
+	seriesJobsFailed      = obs.Series(MetricJobsFinished, "state", string(StateFailed))
+	seriesJobsCancelled   = obs.Series(MetricJobsFinished, "state", string(StateCancelled))
+	seriesJobsDead        = obs.Series(MetricJobsFinished, "state", string(StateDead))
+	seriesBreakerOpen     = obs.Series(MetricBreakerState, "state", "open")
+	seriesBreakerHalfOpen = obs.Series(MetricBreakerState, "state", "half_open")
 )
 
 // finishedSeries maps a terminal state to its counter series.
@@ -38,6 +54,8 @@ func finishedSeries(s State) string {
 		return seriesJobsDone
 	case StateFailed:
 		return seriesJobsFailed
+	case StateDead:
+		return seriesJobsDead
 	default:
 		return seriesJobsCancelled
 	}
@@ -50,9 +68,15 @@ func RegisterMetrics(reg *obs.Registry) {
 	reg.Counter(seriesJobsDone, "terminal job transitions")
 	reg.Counter(seriesJobsFailed, "terminal job transitions")
 	reg.Counter(seriesJobsCancelled, "terminal job transitions")
+	reg.Counter(seriesJobsDead, "terminal job transitions")
 	reg.Gauge(MetricJobsRunning, "jobs currently executing")
 	reg.Gauge(MetricQueueDepth, "jobs waiting in the FIFO queue")
 	reg.Histogram(MetricJobSeconds, "per-attempt job wall-clock in seconds", nil)
 	reg.Counter(MetricCheckpoints, "epoch-boundary checkpoints written")
 	reg.Counter(MetricResumes, "field jobs resumed from a spooled checkpoint")
+	reg.Counter(MetricRetries, "failed attempts re-queued with backoff")
+	reg.Counter(MetricDeadLetter, "jobs dead-lettered after retry exhaustion")
+	reg.Gauge(seriesBreakerOpen, "circuit breakers per state")
+	reg.Gauge(seriesBreakerHalfOpen, "circuit breakers per state")
+	reg.Histogram(MetricSchedDelay, "seconds between a job coming due and dispatch", nil)
 }

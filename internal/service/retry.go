@@ -1,0 +1,101 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"time"
+)
+
+// Retry-state markers exposed as Job.RetryState. Empty means the job is
+// not in any retry-related holding pattern.
+const (
+	// RetryBackoff: the last attempt failed and the job is parked until
+	// NextRun under its exponential-backoff schedule.
+	RetryBackoff = "backoff"
+	// RetryParked: the spec's circuit breaker is open; the job waits for
+	// the breaker cooldown before its next attempt.
+	RetryParked = "parked"
+	// RetryExhausted: the retry budget is spent; the job is dead-lettered
+	// (StateDead) until an operator resurrects it.
+	RetryExhausted = "exhausted"
+)
+
+// Retry policy defaults, applied when a spec carries a retry block with
+// zero-valued fields. A spec with no retry block gets the legacy single
+// attempt and never touches these.
+const (
+	defaultRetryAttempts   = 3
+	defaultRetryBackoff    = 500 * time.Millisecond
+	defaultRetryBackoffMax = 30 * time.Second
+)
+
+// retryPolicy is the resolved per-job retry contract.
+type retryPolicy struct {
+	maxAttempts int           // total run attempts before dead-letter; 1 = legacy fail-fast
+	backoff     time.Duration // base delay after the first failure
+	backoffMax  time.Duration // backoff growth cap (before jitter)
+}
+
+// delay returns the park duration after the nth consecutive failure
+// (n >= 1): min(backoff * 2^(n-1), backoffMax) plus deterministic jitter
+// in [0, 50%) of the capped delay. The jitter is a pure function of
+// (seed, n) so a given job replays the identical backoff schedule on
+// every daemon — reproducibility is the service's house rule, and it
+// makes the schedule testable.
+func (p retryPolicy) delay(n int, seed uint64) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	d := p.backoff
+	// Double with overflow/cap clamping; past the cap the shift count no
+	// longer matters.
+	for i := 1; i < n; i++ {
+		if d >= p.backoffMax/2 || d <= 0 {
+			d = p.backoffMax
+			break
+		}
+		d *= 2
+	}
+	if d > p.backoffMax {
+		d = p.backoffMax
+	}
+	frac := float64(splitmix64(seed+uint64(n))>>11) / float64(uint64(1)<<53) // [0, 1)
+	return d + time.Duration(float64(d)*0.5*frac)
+}
+
+// splitmix64 is the same stateless mixer the radio loss draws use: one
+// multiply-shift cascade, full 64-bit avalanche, no retained state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jitterSeed derives a job's backoff-jitter seed from its ID, so two
+// jobs with the same spec (same fingerprint) still spread their retries
+// instead of thundering back in lockstep.
+func jitterSeed(id string) uint64 {
+	h := uint64(0xcbf29ce484222325) // FNV-1a offset basis
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 0x100000001b3
+	}
+	return splitmix64(h)
+}
+
+// specFingerprint canonically hashes a spec (its JSON form — field order
+// is fixed by the struct) to the key the circuit breaker aggregates
+// failure streaks under: resubmitting the same crashing spec keeps
+// feeding the same breaker no matter how many job IDs it burns.
+func specFingerprint(s *Spec) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec marshaling is exercised by every submit; failure here is a
+		// programming error.
+		panic("service: unmarshalable spec: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}

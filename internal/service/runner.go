@@ -17,8 +17,8 @@ import (
 	"repro/internal/obs"
 )
 
-// ErrQueueFull is returned by Submit when the FIFO queue has no free
-// slot; the HTTP layer translates it to 429 with Retry-After.
+// ErrQueueFull is returned by Submit when the scheduler has no free
+// queue slot; the HTTP layer translates it to 429 with Retry-After.
 var ErrQueueFull = errors.New("service: job queue full")
 
 // ErrStopped is returned by Submit after Stop has begun.
@@ -30,6 +30,9 @@ var ErrNotFound = errors.New("service: no such job")
 // ErrJobDone is returned by Cancel on a job already in a terminal state.
 var ErrJobDone = errors.New("service: job already finished")
 
+// ErrNotDead is returned by Retry on a job that is not dead-lettered.
+var ErrNotDead = errors.New("service: job is not dead-lettered")
+
 // Config configures a Manager.
 type Config struct {
 	// SpoolDir is the durable state directory (required).
@@ -37,9 +40,16 @@ type Config struct {
 	// Workers is the number of jobs executing concurrently; 0 means 1.
 	// Parallelism inside a job is the job spec's Workers field.
 	Workers int
-	// QueueDepth bounds the FIFO queue (jobs queued but not running);
-	// 0 means 64. Submissions beyond it fail with ErrQueueFull.
+	// QueueDepth bounds the scheduler queue (jobs queued but not
+	// running); 0 means 64. Submissions beyond it fail with ErrQueueFull.
 	QueueDepth int
+	// BreakerThreshold is the consecutive-failure streak that trips a
+	// spec fingerprint's circuit breaker; 0 means 5, negative disables
+	// breaking.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker parks attempts
+	// before allowing a half-open probe; 0 means 30s.
+	BreakerCooldown time.Duration
 	// Obs receives service- and job-level metrics; nil disables.
 	Obs obs.Observer
 	// Log receives request and lifecycle logging; nil discards.
@@ -60,16 +70,17 @@ func (c Config) queueDepth() int {
 	return c.QueueDepth
 }
 
-// Manager owns the job table, the FIFO queue and the worker pool. One
-// Manager per spool directory per process; New recovers the spool's
-// jobs, Start launches the workers, Stop drains them.
+// Manager owns the job table, the priority scheduler and the worker
+// pool. One Manager per spool directory per process; New recovers the
+// spool's jobs, Start launches the workers, Stop drains them.
 type Manager struct {
-	spool *Spool
-	store *store
-	obs   obs.Observer
-	log   *log.Logger
+	spool    *Spool
+	store    *store
+	sched    *jobScheduler
+	breakers *breakerSet
+	obs      obs.Observer
+	log      *log.Logger
 
-	queue   chan string
 	running atomic.Int64
 
 	baseCtx    context.Context
@@ -83,15 +94,18 @@ type Manager struct {
 	cancels  map[string]context.CancelFunc
 	feeds    map[string]*feed
 
-	// requeue holds the IDs recovery found interrupted, enqueued (in
-	// crash-surviving FIFO order) by Start.
+	// requeue holds the IDs recovery found interrupted, pushed into the
+	// scheduler (oldest first, so FIFO order within a class survives the
+	// crash) by Start.
 	requeue []string
 }
 
 // New opens the spool, recovers its jobs into the store and prepares the
 // worker pool (not yet running — call Start). Interrupted jobs (queued
 // or running at crash time) come back queued, oldest first, with their
-// checkpoints intact. Corrupt per-job manifests are logged and skipped.
+// checkpoints and any pending backoff schedule intact. Dead-lettered
+// jobs stay dead until resurrected. Corrupt per-job manifests are logged
+// and skipped.
 func New(cfg Config) (*Manager, error) {
 	sp, err := OpenSpool(cfg.SpoolDir)
 	if err != nil {
@@ -109,9 +123,10 @@ func New(cfg Config) (*Manager, error) {
 	m := &Manager{
 		spool:      sp,
 		store:      newStore(),
+		sched:      newJobScheduler(cfg.queueDepth()),
+		breakers:   newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Obs),
 		obs:        cfg.Obs,
 		log:        lg,
-		queue:      make(chan string, cfg.queueDepth()+len(requeue)),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		cancels:    make(map[string]context.CancelFunc),
@@ -139,8 +154,16 @@ func (m *Manager) Start() {
 	m.mu.Unlock()
 
 	for _, id := range requeue {
+		j, ok := m.store.get(id)
+		if !ok {
+			continue
+		}
 		m.log.Printf("job %s: re-queued after restart", id)
-		m.queue <- id // capacity reserved at construction
+		// Forced: recovered jobs already owned their slots; a restart
+		// must never drop them to backpressure.
+		if err := m.sched.push(m.pushReq(&j), true); err != nil {
+			m.log.Printf("job %s: re-queue: %v", id, err)
+		}
 	}
 	m.gaugeQueueDepth()
 	for w := 0; w < n; w++ {
@@ -149,27 +172,47 @@ func (m *Manager) Start() {
 	}
 }
 
-// Submit validates the spec, durably records the job and enqueues it.
+// pushReq derives a job's scheduler entry from its manifest state.
+func (m *Manager) pushReq(j *Job) pushReq {
+	r := pushReq{
+		id:       j.ID,
+		class:    j.Class,
+		priority: j.Spec.Priority,
+	}
+	if j.Deadline != nil {
+		r.deadline = *j.Deadline
+	}
+	if j.NextRun != nil {
+		r.nextRun = *j.NextRun
+	}
+	return r
+}
+
+// Submit validates the spec, durably records the job and schedules it.
 func (m *Manager) Submit(spec Spec) (Job, error) {
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
 	}
+	now := time.Now().UTC()
 	j := &Job{
-		ID:      newJobID(),
-		Spec:    spec,
-		State:   StateQueued,
-		Created: time.Now().UTC(),
+		ID:          newJobID(),
+		Spec:        spec,
+		State:       StateQueued,
+		Class:       spec.class(),
+		Fingerprint: specFingerprint(&spec),
+		Created:     now,
 	}
 	if spec.Type == TypeField {
 		j.Epochs = spec.Field.epochs()
 	}
-
-	m.mu.Lock()
-	if m.stopped {
-		m.mu.Unlock()
-		return Job{}, ErrStopped
+	if spec.DeadlineMS > 0 {
+		d := now.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+		j.Deadline = &d
 	}
-	m.mu.Unlock()
+	if spec.DelayMS > 0 {
+		nr := now.Add(spec.delay())
+		j.NextRun = &nr
+	}
 
 	// Durable before runnable: the manifest hits disk before the ID can
 	// reach a worker, so a crash between the two re-queues the job
@@ -179,32 +222,53 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 		m.store.delete(j.ID)
 		return Job{}, err
 	}
-	select {
-	case m.queue <- j.ID:
-	default:
-		// Backpressure: roll the job back entirely.
-		m.store.delete(j.ID)
-		if err := os.RemoveAll(m.spool.jobPath(j.ID)); err != nil {
-			m.log.Printf("job %s: rollback: %v", j.ID, err)
-		}
-		return Job{}, ErrQueueFull
+	// Snapshot before the push: once a worker can see the job, the
+	// store's canonical struct may be mutated concurrently.
+	snap := *j
+	// The stopped check and the scheduler push share m.mu with Stop, so
+	// a job can never be accepted after Stop has begun: either this push
+	// happens before Stop flips the flag (and the durable manifest
+	// re-queues the job on the next start), or it observes the flag and
+	// rolls back.
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		m.rollback(j.ID)
+		return Job{}, ErrStopped
+	}
+	err := m.sched.push(m.pushReq(j), false)
+	m.mu.Unlock()
+	if err != nil {
+		// Backpressure (or a close that raced the flag): roll the job
+		// back entirely.
+		m.rollback(j.ID)
+		return Job{}, err
 	}
 	if m.obs != nil {
 		m.obs.Add(MetricJobsSubmitted, 1)
 	}
 	m.gaugeQueueDepth()
-	m.feed(j.ID).publish("state", stateEvent(j))
-	m.log.Printf("job %s: queued (%s)", j.ID, spec.Type)
-	return *j, nil
+	m.feed(snap.ID).publish("state", stateEvent(&snap))
+	m.log.Printf("job %s: queued (%s, class %s)", snap.ID, spec.Type, snap.Class)
+	return snap, nil
 }
 
-// Job returns a copy of the job, with its result attached when terminal.
+// rollback erases a job that was durably recorded but not accepted.
+func (m *Manager) rollback(id string) {
+	m.store.delete(id)
+	if err := os.RemoveAll(m.spool.jobPath(id)); err != nil {
+		m.log.Printf("job %s: rollback: %v", id, err)
+	}
+}
+
+// Job returns a copy of the job, with its result attached when one
+// exists (terminal jobs, and recurring jobs between runs).
 func (m *Manager) Job(id string) (Job, error) {
 	j, ok := m.store.get(id)
 	if !ok {
 		return Job{}, ErrNotFound
 	}
-	if j.State == StateDone && j.Result == nil {
+	if j.Result == nil && (j.State == StateDone || j.Runs > 0) {
 		res, err := m.spool.LoadResult(id)
 		if err != nil {
 			m.log.Printf("job %s: load result: %v", id, err)
@@ -217,8 +281,10 @@ func (m *Manager) Job(id string) (Job, error) {
 // Jobs lists every known job, oldest first, without results.
 func (m *Manager) Jobs() []Job { return m.store.list() }
 
-// Cancel moves a queued or running job to cancelled. Queued jobs never
-// start; running jobs stop at their next epoch boundary.
+// Cancel moves a queued or running job to cancelled. Queued jobs —
+// including backoff- and breaker-parked ones — leave the scheduler
+// immediately and never start; running jobs stop at their next epoch
+// boundary. A recurring job's chain ends with it.
 func (m *Manager) Cancel(id string) error {
 	var wasTerminal bool
 	j, ok := m.store.update(id, func(x *Job) {
@@ -227,10 +293,8 @@ func (m *Manager) Cancel(id string) error {
 			return
 		}
 		x.State = StateCancelled
-		if x.Started == nil { // cancelled while queued: finished now
-			now := time.Now().UTC()
-			x.Finished = &now
-		}
+		x.RetryState = ""
+		x.NextRun = nil
 	})
 	if !ok {
 		return ErrNotFound
@@ -238,17 +302,29 @@ func (m *Manager) Cancel(id string) error {
 	if wasTerminal {
 		return ErrJobDone
 	}
-	if err := m.spool.SaveManifest(&j); err != nil {
-		return err
-	}
 	m.mu.Lock()
 	cancel := m.cancels[id]
 	m.mu.Unlock()
 	if cancel != nil {
-		cancel() // running: interrupt at the next boundary
+		// Running: persist the cancelled state, then interrupt at the
+		// next boundary; the runner writes the finish.
+		if err := m.spool.SaveManifest(&j); err != nil {
+			return err
+		}
+		cancel()
 	} else {
-		// Cancelled while queued: the worker that eventually dequeues
-		// the ID sees the state and skips; finish the feed now.
+		// Queued, backoff-parked or breaker-parked: there is no attempt
+		// in flight and possibly no worker due to touch the job for a
+		// long time, so finish it here — drop the scheduler entry (frees
+		// its queue slot now, not at its NextRun), stamp the finish time,
+		// persist, and close the feed.
+		m.sched.remove(id)
+		now := time.Now().UTC()
+		j, _ = m.store.update(id, func(x *Job) { x.Finished = &now })
+		if err := m.spool.SaveManifest(&j); err != nil {
+			return err
+		}
+		m.gaugeQueueDepth()
 		m.finishFeed(id, &j)
 		if m.obs != nil {
 			m.obs.Add(finishedSeries(StateCancelled), 1)
@@ -256,6 +332,55 @@ func (m *Manager) Cancel(id string) error {
 	}
 	m.log.Printf("job %s: cancel requested", id)
 	return nil
+}
+
+// Retry resurrects a dead-lettered job: its failure streak resets and it
+// re-enters the scheduler immediately. The spec's circuit breaker is
+// left untouched — if it is still open, the resurrected job parks until
+// the cooldown, which is exactly the protection the breaker exists for.
+func (m *Manager) Retry(id string) (Job, error) {
+	var notDead bool
+	j, ok := m.store.update(id, func(x *Job) {
+		if x.State != StateDead {
+			notDead = true
+			return
+		}
+		x.State = StateQueued
+		x.RetryState = ""
+		x.Failures = 0
+		x.Error = ""
+		x.Finished = nil
+		x.NextRun = nil
+	})
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	if notDead {
+		return Job{}, ErrNotDead
+	}
+	if err := m.spool.SaveManifest(&j); err != nil {
+		return Job{}, err
+	}
+	if err := m.spool.ClearDead(id); err != nil {
+		m.log.Printf("job %s: clear dead-letter: %v", id, err)
+	}
+	// Forced: resurrection is an explicit operator action, not client
+	// traffic to backpressure.
+	m.mu.Lock()
+	stopped := m.stopped
+	var err error
+	if !stopped {
+		err = m.sched.push(m.pushReq(&j), true)
+	}
+	m.mu.Unlock()
+	if stopped || err != nil {
+		return Job{}, ErrStopped
+	}
+	m.gaugeQueueDepth()
+	m.feed(id).reopen()
+	m.feed(id).publish("state", stateEvent(&j))
+	m.log.Printf("job %s: resurrected from dead-letter", id)
+	return j, nil
 }
 
 // Events returns the job's SSE feed. For a job already terminal (e.g.
@@ -276,12 +401,15 @@ func (m *Manager) Events(id string) (*feed, error) {
 
 // Stop begins shutdown: no new submissions, running jobs are cancelled
 // (they stop at their next epoch boundary, checkpoint already on disk)
-// and the pool is drained. Returns ctx.Err() if the drain deadline
-// passes first; the spool stays consistent either way.
+// and the pool is drained. Queued jobs — parked or not — keep their
+// durable manifests and re-enter the scheduler on the next start.
+// Returns ctx.Err() if the drain deadline passes first; the spool stays
+// consistent either way.
 func (m *Manager) Stop(ctx context.Context) error {
 	m.mu.Lock()
 	m.stopped = true
 	m.mu.Unlock()
+	m.sched.close()
 	m.baseCancel()
 	done := make(chan struct{})
 	go func() {
@@ -324,26 +452,43 @@ func stateEvent(j *Job) map[string]any {
 	if j.Error != "" {
 		ev["error"] = j.Error
 	}
+	if j.RetryState != "" {
+		ev["retry_state"] = j.RetryState
+	}
+	if j.NextRun != nil {
+		ev["next_run"] = j.NextRun
+	}
+	if j.Failures > 0 {
+		ev["failures"] = j.Failures
+	}
+	if j.Runs > 0 {
+		ev["runs"] = j.Runs
+	}
 	return ev
 }
 
 func (m *Manager) gaugeQueueDepth() {
 	if m.obs != nil {
-		m.obs.Set(MetricQueueDepth, float64(len(m.queue)))
+		m.obs.Set(MetricQueueDepth, float64(m.sched.depth()))
 	}
 }
 
-// worker is one pool goroutine: dequeue, run, repeat until shutdown.
+// worker is one pool goroutine: wait for a due job, run it, repeat until
+// shutdown.
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
-		select {
-		case <-m.baseCtx.Done():
+		id, due, ok := m.sched.next(m.baseCtx)
+		if !ok {
 			return
-		case id := <-m.queue:
-			m.gaugeQueueDepth()
-			m.runJob(id)
 		}
+		if m.obs != nil {
+			if d := time.Since(due).Seconds(); d >= 0 {
+				m.obs.Observe(MetricSchedDelay, d)
+			}
+		}
+		m.gaugeQueueDepth()
+		m.runJob(id)
 	}
 }
 
@@ -353,6 +498,15 @@ func (m *Manager) runJob(id string) {
 	if !ok || j.State != StateQueued {
 		return // cancelled while queued, or rolled back
 	}
+
+	// Circuit-breaker gate: an open breaker parks the attempt until the
+	// cooldown instead of running it. The park consumes no attempt and
+	// no failure — the job just waits out the storm.
+	if wait := m.breakers.gate(j.Fingerprint); wait > 0 {
+		m.park(id, wait, RetryParked)
+		return
+	}
+
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	m.mu.Lock()
 	m.cancels[id] = cancel
@@ -371,13 +525,23 @@ func (m *Manager) runJob(id string) {
 		defer func() { m.obs.Set(MetricJobsRunning, float64(m.running.Add(-1))) }()
 	}
 	now := time.Now().UTC()
+	var started bool
 	j, _ = m.store.update(id, func(x *Job) {
+		if x.State != StateQueued { // cancel won the race since the get above
+			return
+		}
+		started = true
 		x.State = StateRunning
 		x.Started = &now
 		x.Attempts++
+		x.RetryState = ""
+		x.NextRun = nil
 	})
+	if !started {
+		return
+	}
 	if err := m.spool.SaveManifest(&j); err != nil {
-		m.fail(id, fmt.Errorf("persist manifest: %w", err))
+		m.handleFailure(id, fmt.Errorf("persist manifest: %w", err))
 		return
 	}
 	m.feed(id).publish("state", stateEvent(&j))
@@ -391,6 +555,8 @@ func (m *Manager) runJob(id string) {
 		result, err = m.runField(ctx, id, &j)
 	case TypeSweep:
 		result, err = j.Spec.Sweep.run(exp.Options{Workers: j.Spec.Workers, Ctx: ctx, Obs: m.obs})
+	case TypeProbe:
+		result, err = j.Spec.Probe.run(ctx, j.Attempts)
 	default:
 		err = fmt.Errorf("service: unknown job type %q", j.Spec.Type)
 	}
@@ -422,10 +588,105 @@ func (m *Manager) runJob(id string) {
 		return
 	}
 	if err != nil {
-		m.fail(id, err)
+		m.handleFailure(id, err)
 		return
 	}
+	m.breakers.success(j.Fingerprint)
 	m.finish(id, result)
+}
+
+// park re-queues a queued job with a future NextRun (breaker cooldown or
+// retry backoff), durably.
+func (m *Manager) park(id string, wait time.Duration, retryState string) {
+	nr := time.Now().UTC().Add(wait)
+	var parked bool
+	j, ok := m.store.update(id, func(x *Job) {
+		if x.State != StateQueued {
+			return // cancel raced the park; the entry is already gone
+		}
+		parked = true
+		x.NextRun = &nr
+		x.RetryState = retryState
+	})
+	if !ok || !parked {
+		return
+	}
+	if err := m.spool.SaveManifest(&j); err != nil {
+		m.log.Printf("job %s: persist park: %v", id, err)
+	}
+	// Forced: the job held a queue slot before it was popped for this
+	// attempt; parking must not fail to backpressure.
+	if err := m.sched.push(m.pushReq(&j), true); err != nil {
+		m.log.Printf("job %s: park re-queue: %v", id, err)
+		return
+	}
+	m.gaugeQueueDepth()
+	m.feed(id).publish("state", stateEvent(&j))
+	m.log.Printf("job %s: %s until %s", id, retryState, nr.Format(time.RFC3339))
+}
+
+// handleFailure routes a failed attempt: backoff-park while the retry
+// budget lasts, then dead-letter (or plain failure for legacy
+// single-attempt jobs).
+func (m *Manager) handleFailure(id string, runErr error) {
+	j, ok := m.store.get(id)
+	if !ok {
+		return
+	}
+	pol := j.Spec.retryPolicy()
+	var failures int
+	var live bool
+	j, _ = m.store.update(id, func(x *Job) {
+		if x.State.Terminal() || x.State == StateQueued {
+			return // cancel (or something stranger) raced the failure
+		}
+		live = true
+		x.Failures++
+		failures = x.Failures
+		x.Error = runErr.Error()
+	})
+	if !live {
+		return
+	}
+	m.breakers.failure(j.Fingerprint)
+
+	if failures < pol.maxAttempts {
+		delay := pol.delay(failures, jitterSeed(id))
+		nr := time.Now().UTC().Add(delay)
+		j, _ = m.store.update(id, func(x *Job) {
+			if x.State != StateRunning {
+				live = false
+				return
+			}
+			x.State = StateQueued
+			x.RetryState = RetryBackoff
+			x.NextRun = &nr
+		})
+		if !live {
+			return
+		}
+		if err := m.spool.SaveManifest(&j); err != nil {
+			m.log.Printf("job %s: persist backoff: %v", id, err)
+		}
+		if err := m.sched.push(m.pushReq(&j), true); err != nil {
+			m.log.Printf("job %s: backoff re-queue: %v", id, err)
+			return
+		}
+		if m.obs != nil {
+			m.obs.Add(MetricRetries, 1)
+		}
+		m.gaugeQueueDepth()
+		m.feed(id).publish("state", stateEvent(&j))
+		m.log.Printf("job %s: attempt %d failed (%v), retry %d/%d in %s",
+			id, j.Attempts, runErr, failures, pol.maxAttempts, delay.Round(time.Millisecond))
+		return
+	}
+	if pol.maxAttempts <= 1 {
+		// Legacy single-attempt semantics: straight to failed.
+		m.fail(id, runErr)
+		return
+	}
+	m.deadLetter(id, runErr)
 }
 
 // fail moves the job to failed and persists it.
@@ -452,22 +713,66 @@ func (m *Manager) fail(id string, runErr error) {
 	m.log.Printf("job %s: failed: %v", id, runErr)
 }
 
-// finish moves the job to done, persisting the result before the state
-// so a crash between the two re-runs the job rather than serving a done
-// job with no result.
+// deadLetter moves the job to the dead-letter state: terminal for the
+// scheduler, resurrectable by an operator via Retry.
+func (m *Manager) deadLetter(id string, runErr error) {
+	now := time.Now().UTC()
+	var raced bool
+	j, ok := m.store.update(id, func(x *Job) {
+		if x.State.Terminal() {
+			raced = true
+			return
+		}
+		x.State = StateDead
+		x.RetryState = RetryExhausted
+		x.Error = runErr.Error()
+		x.Finished = &now
+		x.NextRun = nil
+	})
+	if !ok || raced {
+		return
+	}
+	if err := m.spool.SaveManifest(&j); err != nil {
+		m.log.Printf("job %s: persist dead-letter: %v", id, err)
+	}
+	if err := m.spool.MarkDead(&j); err != nil {
+		m.log.Printf("job %s: dead-letter index: %v", id, err)
+	}
+	m.finishFeed(id, &j)
+	if m.obs != nil {
+		m.obs.Add(MetricDeadLetter, 1)
+		m.obs.Add(finishedSeries(StateDead), 1)
+	}
+	m.log.Printf("job %s: dead-lettered after %d attempts: %v", id, j.Attempts, runErr)
+}
+
+// finish completes a successful attempt: one-shot jobs go terminal;
+// recurring jobs persist the run's result and re-queue the next run.
+// Either way the result hits disk before the state, so a crash between
+// the two re-runs the job rather than serving a done job with no result.
 func (m *Manager) finish(id string, result []byte) {
 	if err := m.spool.SaveResult(id, result); err != nil {
-		m.fail(id, fmt.Errorf("persist result: %w", err))
+		m.handleFailure(id, fmt.Errorf("persist result: %w", err))
+		return
+	}
+	j, ok := m.store.get(id)
+	if !ok {
+		return
+	}
+	if every := j.Spec.every(); every > 0 {
+		m.recur(id, every)
 		return
 	}
 	now := time.Now().UTC()
 	var raced bool
-	j, ok := m.store.update(id, func(x *Job) {
+	j, ok = m.store.update(id, func(x *Job) {
 		if x.State != StateRunning { // lost a race with Cancel
 			raced = true
 			return
 		}
 		x.State = StateDone
+		x.Failures = 0
+		x.Runs++
 		x.Finished = &now
 	})
 	if !ok || raced {
@@ -481,6 +786,43 @@ func (m *Manager) finish(id string, result []byte) {
 		m.obs.Add(finishedSeries(StateDone), 1)
 	}
 	m.log.Printf("job %s: done", id)
+}
+
+// recur re-queues a recurring job for its next run. The completed run's
+// checkpoint is deleted first — the next run is a fresh simulation, not
+// a resume — and the failure streak resets, so each recurrence gets the
+// full retry budget.
+func (m *Manager) recur(id string, every time.Duration) {
+	if err := os.Remove(m.spool.SnapshotPath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		m.log.Printf("job %s: clear checkpoint for recurrence: %v", id, err)
+	}
+	nr := time.Now().UTC().Add(every)
+	var raced bool
+	j, ok := m.store.update(id, func(x *Job) {
+		if x.State != StateRunning { // lost a race with Cancel
+			raced = true
+			return
+		}
+		x.State = StateQueued
+		x.Failures = 0
+		x.Runs++
+		x.Epoch = 0
+		x.Error = ""
+		x.NextRun = &nr
+	})
+	if !ok || raced {
+		return
+	}
+	if err := m.spool.SaveManifest(&j); err != nil {
+		m.log.Printf("job %s: persist recurrence: %v", id, err)
+	}
+	if err := m.sched.push(m.pushReq(&j), true); err != nil {
+		m.log.Printf("job %s: recurrence re-queue: %v", id, err)
+		return
+	}
+	m.gaugeQueueDepth()
+	m.feed(id).publish("state", stateEvent(&j))
+	m.log.Printf("job %s: run %d done, next at %s", id, j.Runs, nr.Format(time.RFC3339))
 }
 
 // runField executes (or resumes) a field job, checkpointing at every

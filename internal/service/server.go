@@ -21,10 +21,11 @@ const maxSpecBytes = 1 << 20
 // progress streams and the Prometheus scrape endpoint.
 //
 //	POST   /v1/jobs             submit (202; 400 invalid; 429 queue full)
-//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs             list jobs (?state= and ?class= filters)
 //	GET    /v1/jobs/{id}        job detail (+ result when done)
 //	POST   /v1/jobs/{id}/cancel cancel queued/running job
 //	DELETE /v1/jobs/{id}        alias for cancel
+//	POST   /v1/jobs/{id}/retry  resurrect a dead-lettered job (409 if not dead)
 //	GET    /v1/jobs/{id}/events SSE progress stream
 //	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness probe
@@ -47,6 +48,7 @@ func NewServer(m *Manager, reg *obs.Registry, lg *log.Logger) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/retry", s.handleRetry)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -138,7 +140,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.m.Jobs()})
+	jobs := s.m.Jobs()
+	state := r.URL.Query().Get("state")
+	class := r.URL.Query().Get("class")
+	if state != "" || class != "" {
+		filtered := make([]Job, 0, len(jobs))
+		for _, j := range jobs {
+			if state != "" && string(j.State) != state {
+				continue
+			}
+			if class != "" && j.Class != class {
+				continue
+			}
+			filtered = append(filtered, j)
+		}
+		jobs = filtered
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -162,6 +180,22 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 	default:
 		j, _ := s.m.Job(id)
+		writeJSON(w, http.StatusOK, j)
+	}
+}
+
+func (s *Server) handleRetry(w http.ResponseWriter, r *http.Request) {
+	j, err := s.m.Retry(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+	case errors.Is(err, ErrNotDead):
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+	case errors.Is(err, ErrStopped):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	default:
 		writeJSON(w, http.StatusOK, j)
 	}
 }

@@ -1,14 +1,17 @@
 // Package service is the crash-safe simulation job service: an HTTP API
 // over the field runtime (internal/field) and the experiment sweeps
 // (internal/exp). Jobs are submitted as JSON specs, run on a bounded
-// worker pool behind a FIFO queue, and expose their lifecycle, live
-// epoch progress (Server-Sent Events) and the process-wide metrics
-// registry over HTTP. The headline guarantee is crash safety: a field
-// job checkpoints its runtime snapshot to a spool directory at every
-// epoch boundary, so a daemon killed mid-run re-queues the job on
-// restart, resumes from the checkpoint, and — by the field runtime's
-// determinism contract — finishes with a summary byte-identical to an
-// uninterrupted run.
+// worker pool behind an adaptive priority scheduler (class-banded
+// min-heap dispatch with EDF tie-breaking, per-job retry budgets with
+// exponential backoff and deterministic jitter, per-spec circuit
+// breakers, a dead-letter spool with operator resurrection, and
+// recurring specs), and expose their lifecycle, live epoch progress
+// (Server-Sent Events) and the process-wide metrics registry over HTTP.
+// The headline guarantee is crash safety: a field job checkpoints its
+// runtime snapshot to a spool directory at every epoch boundary, so a
+// daemon killed mid-run re-queues the job on restart, resumes from the
+// checkpoint, and — by the field runtime's determinism contract —
+// finishes with a summary byte-identical to an uninterrupted run.
 //
 // The package mirrors the paper's own shape one level up: a cluster head
 // is a locally-centralized coordinator polling many battery-bound
@@ -18,7 +21,9 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -38,10 +43,20 @@ const (
 	// re-run from scratch (cells are deterministic, so the result is
 	// unaffected).
 	TypeSweep = "sweep"
+	// TypeProbe runs a synthetic diagnostic job: sleep a bit, then
+	// succeed or fail on command. Probes exist so operators (and the CI
+	// smoke test) can exercise the scheduler's retry, breaker and
+	// dead-letter plumbing on a live deployment without burning a real
+	// simulation.
+	TypeProbe = "probe"
 )
 
 // Spec is the job specification clients POST to /v1/jobs. Exactly one of
-// Field/Sweep must be set, matching Type.
+// Field/Sweep/Probe must be set, matching Type. The scheduling fields
+// (class, priority, deadline, delay, retry, every) are all optional; a
+// spec that omits every one of them — any pre-scheduler spec — runs with
+// the legacy semantics: batch class, priority 0, due immediately, a
+// single attempt, no recurrence.
 type Spec struct {
 	Type string `json:"type"`
 	// Workers bounds the parallelism *inside* the job (field shard
@@ -50,32 +65,206 @@ type Spec struct {
 	Workers int        `json:"workers,omitempty"`
 	Field   *FieldSpec `json:"field,omitempty"`
 	Sweep   *SweepSpec `json:"sweep,omitempty"`
+	Probe   *ProbeSpec `json:"probe,omitempty"`
+
+	// Class picks the dispatch band: "interactive" > "batch" >
+	// "background". Empty means batch.
+	Class string `json:"class,omitempty"`
+	// Priority orders jobs within a class (higher runs first; may be
+	// negative). Ties fall back to earliest deadline, then FIFO.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS is a soft completion target, milliseconds from
+	// submission. It only steers the queue (EDF tie-breaking within a
+	// class+priority band); the service never kills a late job.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// DelayMS defers the first run: the job becomes due DelayMS after
+	// submission instead of immediately.
+	DelayMS int64 `json:"delay_ms,omitempty"`
+	// Retry arms multi-attempt execution with exponential backoff and a
+	// dead-letter terminus. Absent = legacy single attempt.
+	Retry *RetrySpec `json:"retry,omitempty"`
+	// EveryMS makes the job recurring: each successful completion
+	// re-queues a fresh run EveryMS after the finish. The latest result
+	// stays readable between runs; cancel ends the recurrence.
+	EveryMS int64 `json:"every_ms,omitempty"`
+}
+
+// RetrySpec is the per-job retry budget. Zero-valued fields take the
+// service defaults (3 attempts, 500 ms base backoff, 30 s cap); the
+// block being present at all is what opts the job out of the legacy
+// fail-fast behavior.
+type RetrySpec struct {
+	// MaxAttempts bounds total run attempts before the job dead-letters.
+	// 0 means 3; 1 reproduces the legacy fail-fast (straight to failed).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// BackoffMS is the base delay after the first failure; it doubles per
+	// consecutive failure. 0 means 500.
+	BackoffMS int64 `json:"backoff_ms,omitempty"`
+	// MaxBackoffMS caps the doubling (before jitter). 0 means 30000.
+	MaxBackoffMS int64 `json:"max_backoff_ms,omitempty"`
 }
 
 // Validate checks the spec for structural problems before it is accepted
 // into the queue, so a malformed job fails at POST time with a 400, not
 // minutes later in a worker.
 func (s *Spec) Validate() error {
+	if err := s.validateSched(); err != nil {
+		return err
+	}
 	switch s.Type {
 	case TypeField:
 		if s.Field == nil {
 			return fmt.Errorf("service: field job without field spec")
 		}
-		if s.Sweep != nil {
-			return fmt.Errorf("service: field job carries a sweep spec")
+		if s.Sweep != nil || s.Probe != nil {
+			return fmt.Errorf("service: field job carries an extra sub-spec")
 		}
 		return s.Field.validate()
 	case TypeSweep:
 		if s.Sweep == nil {
 			return fmt.Errorf("service: sweep job without sweep spec")
 		}
-		if s.Field != nil {
-			return fmt.Errorf("service: sweep job carries a field spec")
+		if s.Field != nil || s.Probe != nil {
+			return fmt.Errorf("service: sweep job carries an extra sub-spec")
 		}
 		return s.Sweep.validate()
+	case TypeProbe:
+		if s.Probe == nil {
+			return fmt.Errorf("service: probe job without probe spec")
+		}
+		if s.Field != nil || s.Sweep != nil {
+			return fmt.Errorf("service: probe job carries an extra sub-spec")
+		}
+		return s.Probe.validate()
 	default:
-		return fmt.Errorf("service: unknown job type %q (want %q or %q)", s.Type, TypeField, TypeSweep)
+		return fmt.Errorf("service: unknown job type %q (want %q, %q or %q)", s.Type, TypeField, TypeSweep, TypeProbe)
 	}
+}
+
+// validateSched checks the scheduling envelope shared by all job types.
+func (s *Spec) validateSched() error {
+	switch s.Class {
+	case "", ClassInteractive, ClassBatch, ClassBackground:
+	default:
+		return fmt.Errorf("service: unknown class %q (want %q, %q or %q)",
+			s.Class, ClassInteractive, ClassBatch, ClassBackground)
+	}
+	if s.DeadlineMS < 0 {
+		return fmt.Errorf("service: negative deadline_ms %d", s.DeadlineMS)
+	}
+	if s.DelayMS < 0 {
+		return fmt.Errorf("service: negative delay_ms %d", s.DelayMS)
+	}
+	if s.EveryMS < 0 {
+		return fmt.Errorf("service: negative every_ms %d", s.EveryMS)
+	}
+	if r := s.Retry; r != nil {
+		if r.MaxAttempts < 0 {
+			return fmt.Errorf("service: negative retry.max_attempts %d", r.MaxAttempts)
+		}
+		if r.MaxAttempts > 100 {
+			return fmt.Errorf("service: retry.max_attempts %d > 100", r.MaxAttempts)
+		}
+		if r.BackoffMS < 0 || r.MaxBackoffMS < 0 {
+			return fmt.Errorf("service: negative retry backoff")
+		}
+		if r.MaxBackoffMS > 0 && r.BackoffMS > r.MaxBackoffMS {
+			return fmt.Errorf("service: retry.backoff_ms %d exceeds max_backoff_ms %d", r.BackoffMS, r.MaxBackoffMS)
+		}
+	}
+	return nil
+}
+
+// class resolves the dispatch class, defaulting to batch — the band
+// every pre-scheduler spec lands in.
+func (s *Spec) class() string {
+	if s.Class == "" {
+		return ClassBatch
+	}
+	return s.Class
+}
+
+// retryPolicy resolves the spec's retry contract. No retry block =
+// legacy single attempt.
+func (s *Spec) retryPolicy() retryPolicy {
+	r := s.Retry
+	if r == nil {
+		return retryPolicy{maxAttempts: 1}
+	}
+	p := retryPolicy{
+		maxAttempts: r.MaxAttempts,
+		backoff:     time.Duration(r.BackoffMS) * time.Millisecond,
+		backoffMax:  time.Duration(r.MaxBackoffMS) * time.Millisecond,
+	}
+	if p.maxAttempts == 0 {
+		p.maxAttempts = defaultRetryAttempts
+	}
+	if p.backoff == 0 {
+		p.backoff = defaultRetryBackoff
+	}
+	if p.backoffMax == 0 {
+		p.backoffMax = defaultRetryBackoffMax
+	}
+	if p.backoffMax < p.backoff {
+		p.backoffMax = p.backoff
+	}
+	return p
+}
+
+// every resolves the recurrence interval (0 = one-shot).
+func (s *Spec) every() time.Duration {
+	return time.Duration(s.EveryMS) * time.Millisecond
+}
+
+// delay resolves the initial-run delay.
+func (s *Spec) delay() time.Duration {
+	return time.Duration(s.DelayMS) * time.Millisecond
+}
+
+// ProbeSpec is the synthetic diagnostic job. It sleeps, then fails or
+// succeeds on command — enough to drive every edge of the scheduler's
+// reliability machinery from the outside.
+type ProbeSpec struct {
+	// SleepMS holds the worker for this long (context-aware, so cancel
+	// and drain still work).
+	SleepMS int64 `json:"sleep_ms,omitempty"`
+	// Fail makes every attempt fail.
+	Fail bool `json:"fail,omitempty"`
+	// FailFirst makes attempts 1..FailFirst fail and later ones succeed
+	// (attempts are cumulative across resurrections, so a dead-lettered
+	// probe with FailFirst == its retry budget succeeds when retried).
+	FailFirst int `json:"fail_first,omitempty"`
+}
+
+func (ps *ProbeSpec) validate() error {
+	if ps.SleepMS < 0 {
+		return fmt.Errorf("service: negative probe sleep_ms %d", ps.SleepMS)
+	}
+	if ps.FailFirst < 0 {
+		return fmt.Errorf("service: negative probe fail_first %d", ps.FailFirst)
+	}
+	return nil
+}
+
+// run executes one probe attempt. attempt is the job's cumulative
+// attempt counter (1-based).
+func (ps *ProbeSpec) run(ctx context.Context, attempt int) ([]byte, error) {
+	if ps.SleepMS > 0 {
+		t := time.NewTimer(time.Duration(ps.SleepMS) * time.Millisecond)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	if ps.Fail {
+		return nil, errors.New("probe: induced failure")
+	}
+	if attempt <= ps.FailFirst {
+		return nil, fmt.Errorf("probe: induced failure (attempt %d of first %d)", attempt, ps.FailFirst)
+	}
+	return json.Marshal(map[string]any{"probe": "ok", "slept_ms": ps.SleepMS, "attempt": attempt})
 }
 
 // ParamsSpec is the JSON-friendly subset of cluster.Params a job may

@@ -15,14 +15,19 @@ import (
 //	<dir>/<job-id>/manifest.json    the Job record (spec + lifecycle)
 //	<dir>/<job-id>/snapshot.json    latest field.Snapshot (field jobs)
 //	<dir>/<job-id>/result.json      terminal payload (done jobs)
+//	<dir>/_dead/<job-id>.json       dead-letter copies for operator review
 //
 // Every write is atomic (temp file + rename in the same directory), so a
 // crash at any instant leaves each file either at its previous version or
 // its new one — never torn. Recovery is therefore a pure function of the
-// directory contents.
+// directory contents. Names starting with "_" are spool-internal areas,
+// never job directories (job IDs are hex, so no collision is possible).
 type Spool struct {
 	dir string
 }
+
+// deadDir is the dead-letter area under the spool root.
+const deadDir = "_dead"
 
 // OpenSpool creates (if needed) and opens a spool directory.
 func OpenSpool(dir string) (*Spool, error) {
@@ -95,21 +100,71 @@ func (sp *Spool) LoadResult(id string) ([]byte, error) {
 	return b, err
 }
 
+// MarkDead copies a dead-lettered job's manifest into the dead-letter
+// area, giving operators one directory to scan for jobs needing review.
+// The job's own manifest (state "dead") remains the durable truth; the
+// copy is an index.
+func (sp *Spool) MarkDead(j *Job) error {
+	d := filepath.Join(sp.dir, deadDir)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		return err
+	}
+	m := *j
+	m.Result = nil
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(d, j.ID+".json"), data)
+}
+
+// ClearDead removes a job's dead-letter entry (resurrection). Missing
+// entries are fine — the manifest, not the index, is authoritative.
+func (sp *Spool) ClearDead(id string) error {
+	err := os.Remove(filepath.Join(sp.dir, deadDir, id+".json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// DeadLetters lists the job IDs currently in the dead-letter area.
+func (sp *Spool) DeadLetters() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(sp.dir, deadDir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".json"); ok {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
 // Recover scans the spool and rebuilds the job set. Jobs whose manifests
 // say queued or running were interrupted: they are flipped back to
 // queued (attempt count intact — the runner bumps it at pickup) and
-// returned in requeue, oldest first, so the FIFO order survives the
-// crash. Terminal jobs load as-is for API visibility. Unreadable
-// manifests are skipped with their error recorded, not fatal: one
-// corrupt job must not take the daemon down.
+// returned in requeue, oldest first, so recovered jobs re-enter the
+// scheduler oldest-first within their class. A preserved NextRun (a
+// backoff park or pending recurrence interrupted by the crash) survives
+// into the re-queue, so a crash cannot be used to skip a backoff.
+// Terminal jobs — including dead-lettered ones — load as-is for API
+// visibility. Unreadable manifests are skipped with their error
+// recorded, not fatal: one corrupt job must not take the daemon down.
 func (sp *Spool) Recover() (jobs []*Job, requeue []string, errs []error) {
 	entries, err := os.ReadDir(sp.dir)
 	if err != nil {
 		return nil, nil, []error{fmt.Errorf("service: scan spool: %w", err)}
 	}
 	for _, e := range entries {
-		if !e.IsDir() {
-			continue
+		if !e.IsDir() || strings.HasPrefix(e.Name(), "_") {
+			continue // files and spool-internal areas (_dead) are not jobs
 		}
 		id := e.Name()
 		sp.sweepTemp(id)
@@ -129,6 +184,15 @@ func (sp *Spool) Recover() (jobs []*Job, requeue []string, errs []error) {
 		}
 		if !j.State.Terminal() {
 			j.State = StateQueued
+		}
+		// Manifests written before the scheduler existed lack the
+		// denormalized class/fingerprint; resolve them once here so the
+		// rest of the daemon never special-cases manifest vintage.
+		if j.Class == "" {
+			j.Class = j.Spec.class()
+		}
+		if j.Fingerprint == "" {
+			j.Fingerprint = specFingerprint(&j.Spec)
 		}
 		jobs = append(jobs, &j)
 	}

@@ -75,6 +75,20 @@ func (f *feed) close() {
 	f.wake()
 }
 
+// reopen lets a closed feed accept publishes again — dead-letter
+// resurrection restarts a job's lifecycle, so its feed must come back to
+// life with it. The event log and IDs continue; subscribers that already
+// drained to EOF reconnect to see the new run.
+func (f *feed) reopen() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.closed {
+		return
+	}
+	f.closed = false
+	f.wake()
+}
+
 // wake must run under f.mu.
 func (f *feed) wake() {
 	close(f.changed)
