@@ -20,6 +20,15 @@
 // producing the same final summaries an uninterrupted run would have.
 // Backoff schedules survive restarts the same way.
 //
+// Distributed execution: every daemon also serves the dist worker API
+// under /v1/worker, so any mhpolld can act as a shard worker for
+// another daemon's dist_field job. Submitting a dist_field job (with
+// the worker daemons' base URLs in the spec) makes this daemon the
+// coordinator: it shards the field's clusters across the fleet,
+// commits every epoch to its own spool, survives worker loss by
+// reassigning shards to survivors, and finishes with a summary
+// byte-identical to a single-process run of the same field spec.
+//
 // Shutdown: SIGINT/SIGTERM stops accepting requests, cancels running
 // jobs (each stops at its next epoch boundary, checkpoint already on
 // disk) and drains the pool under -drain; a second signal aborts.
@@ -37,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/dist"
 	"repro/internal/field"
 	"repro/internal/obs"
 	"repro/internal/routing"
@@ -64,6 +74,7 @@ func main() {
 	field.RegisterMetrics(reg)
 	routing.RegisterMetrics(reg)
 	service.RegisterMetrics(reg)
+	dist.RegisterMetrics(reg)
 	logger := log.Default()
 
 	m, err := service.New(service.Config{
@@ -80,9 +91,17 @@ func main() {
 	}
 	m.Start()
 
+	api := service.NewServer(m, reg, logger)
+	// Every daemon is also a dist shard worker: coordinators open
+	// sessions against /v1/worker, built from the same FieldSpec wire
+	// format the job API speaks.
+	wh := dist.NewWorkerHost(service.BuildFieldSpec)
+	wh.Obs = reg.Observer()
+	api.Handle("/v1/worker/", wh.Handler())
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewServer(m, reg, logger),
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)

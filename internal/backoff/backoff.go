@@ -1,0 +1,65 @@
+// Package backoff is the repo's shared deterministic retry-backoff
+// kernel: capped exponential growth with jitter that is a pure function
+// of (seed, attempt). It was extracted from the job service's reliability
+// layer so the distributed field coordinator can reuse the exact same
+// schedule for shard-reassignment retries — reproducibility is the house
+// rule, and a shared kernel keeps the two schedules provably identical.
+package backoff
+
+import "time"
+
+// Policy is a capped exponential backoff schedule.
+type Policy struct {
+	// Base is the delay after the first failure; it doubles per
+	// consecutive failure.
+	Base time.Duration
+	// Max caps the doubling (before jitter).
+	Max time.Duration
+}
+
+// Delay returns the park duration after the nth consecutive failure
+// (n >= 1): min(Base * 2^(n-1), Max) plus deterministic jitter in
+// [0, 50%) of the capped delay. The jitter is a pure function of
+// (seed, n) so a given caller replays the identical backoff schedule on
+// every process — and the schedule is testable.
+func (p Policy) Delay(n int, seed uint64) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	d := p.Base
+	// Double with overflow/cap clamping; past the cap the shift count no
+	// longer matters.
+	for i := 1; i < n; i++ {
+		if d >= p.Max/2 || d <= 0 {
+			d = p.Max
+			break
+		}
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	frac := float64(Splitmix64(seed+uint64(n))>>11) / float64(uint64(1)<<53) // [0, 1)
+	return d + time.Duration(float64(d)*0.5*frac)
+}
+
+// Splitmix64 is the same stateless mixer the radio loss draws use: one
+// multiply-shift cascade, full 64-bit avalanche, no retained state.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SeedString derives a jitter seed from an identifier string (FNV-1a
+// folded through Splitmix64), so two callers with identical policies
+// still spread their retries instead of thundering back in lockstep.
+func SeedString(id string) uint64 {
+	h := uint64(0xcbf29ce484222325) // FNV-1a offset basis
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 0x100000001b3
+	}
+	return Splitmix64(h)
+}

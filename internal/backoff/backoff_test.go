@@ -1,0 +1,58 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayDeterministic pins that the schedule is a pure function of
+// (policy, seed, n).
+func TestDelayDeterministic(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond}
+	for n := 1; n <= 6; n++ {
+		a := p.Delay(n, 42)
+		b := p.Delay(n, 42)
+		if a != b {
+			t.Fatalf("n=%d: Delay not deterministic: %s vs %s", n, a, b)
+		}
+	}
+}
+
+// TestDelayEnvelope checks the capped-exponential envelope: the un-jittered
+// floor doubles up to Max, and jitter stays below 50%.
+func TestDelayEnvelope(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond}
+	floors := []time.Duration{
+		100 * time.Millisecond, // n=1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+	}
+	for n, floor := range floors {
+		d := p.Delay(n+1, 7)
+		if d < floor || d >= floor+floor/2 {
+			t.Fatalf("n=%d: delay %s outside [%s, %s)", n+1, d, floor, floor+floor/2)
+		}
+	}
+}
+
+// TestDelayOverflowSafe hammers large n: the doubling loop must clamp, not
+// wrap negative.
+func TestDelayOverflowSafe(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Hour}
+	d := p.Delay(200, 1)
+	if d < time.Hour || d > time.Hour+time.Hour/2 {
+		t.Fatalf("delay after 200 failures = %s, want within [1h, 1.5h)", d)
+	}
+}
+
+// TestSeedStringSpreads checks distinct IDs get distinct jitter streams.
+func TestSeedStringSpreads(t *testing.T) {
+	if SeedString("job-a") == SeedString("job-b") {
+		t.Fatal("distinct ids produced identical seeds")
+	}
+	if SeedString("job-a") != SeedString("job-a") {
+		t.Fatal("SeedString not deterministic")
+	}
+}

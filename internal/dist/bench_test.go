@@ -1,0 +1,47 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkDistEpoch measures one distributed epoch barrier + merge over
+// the in-process transport (JSON wire round-trips included) at 1, 2 and
+// 4 workers — the protocol overhead on top of the simulation itself.
+// Epochs just keep running past the spec's count; the barrier and merge
+// don't care, which keeps b.N unconstrained.
+func BenchmarkDistEpoch(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			cfg, _ := testConfig(n)
+			co, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			open := OpenRequest{Session: cfg.Session, FieldHash: co.rt.FieldHash(), Spec: cfg.Spec}
+			for _, w := range cfg.Workers {
+				co.mu.Lock()
+				co.live[w] = true
+				co.lastOK[w] = time.Now()
+				co.mu.Unlock()
+				if err := cfg.Transport.Open(ctx, w, open); err != nil {
+					b.Fatal(err)
+				}
+			}
+			clusters := co.rt.ClusterIndexes()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := co.barrier(ctx, co.rt.Epoch(), clusters)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := co.rt.MergeEpoch(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

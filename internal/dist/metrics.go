@@ -1,0 +1,26 @@
+package dist
+
+import "repro/internal/obs"
+
+// Coordinator metric families.
+const (
+	// MetricWorkersLive gauges the workers the coordinator currently
+	// considers live.
+	MetricWorkersLive = "dist_workers_live"
+	// MetricShardReassigns counts cluster shards reassigned to survivors
+	// after a worker was written off.
+	MetricShardReassigns = "dist_shard_reassigns_total"
+	// MetricEpochBarrierSeconds is a histogram of wall-clock seconds per
+	// distributed epoch barrier (assign → run → collect, excluding the
+	// merge and commit).
+	MetricEpochBarrierSeconds = "dist_epoch_barrier_seconds"
+)
+
+// RegisterMetrics pre-registers the dist series in reg with help text.
+// Emission works without it; registering makes the exposition
+// self-describing.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Gauge(MetricWorkersLive, "workers the coordinator considers live")
+	reg.Counter(MetricShardReassigns, "cluster shards reassigned after worker loss")
+	reg.Histogram(MetricEpochBarrierSeconds, "wall-clock seconds per distributed epoch barrier", nil)
+}

@@ -41,25 +41,9 @@ func (rt *Runtime) churn(epoch int, outs []clusterEpochOut, rep *EpochReport) {
 			if c == nil || outs[k].energyUse == nil {
 				continue
 			}
-			victims := rt.scratchVictims[:0]
-			for v := 1; v <= c.Sensors(); v++ {
-				if rt.dead[k][v] {
-					continue
-				}
-				rt.batteries[k][v] -= outs[k].energyUse[v]
-				if rt.batteries[k][v] <= 0 {
-					rt.batteries[k][v] = 0
-					victims = append(victims, v)
-					rep.Deaths = append(rep.Deaths, Death{
-						Epoch: epoch, Cluster: k, Sensor: v, Cause: "battery",
-					})
-				}
-			}
-			if len(victims) > 0 {
-				rt.killBatch(k, victims)
+			if rt.batteryChurnCluster(epoch, k, outs[k].energyUse, &rep.Deaths) {
 				changed[k] = true
 			}
-			rt.scratchVictims = victims
 		}
 	}
 
@@ -67,28 +51,14 @@ func (rt *Runtime) churn(epoch int, outs []clusterEpochOut, rep *EpochReport) {
 	// uniformly drawn reachable sensor dies abruptly. (The draw sees the
 	// post-battery-kill graph, exactly as when deaths were applied one at
 	// a time.)
-	if rate := rt.cfg.Churn.FaultRate; rate > 0 {
-		seed := uint64(rt.cfg.churnSeed())
+	if rt.cfg.Churn.FaultRate > 0 {
 		for k, c := range rt.clusters {
 			if c == nil {
 				continue
 			}
-			draw := hashMix(seed, uint64(epoch), uint64(k), saltFault)
-			if hashUnit(draw) >= rate {
-				continue
+			if rt.faultChurnCluster(epoch, k, &rep.Deaths) {
+				changed[k] = true
 			}
-			alive := c.ReachableInto(rt.scratchReach)
-			rt.scratchReach = alive
-			if len(alive) == 0 {
-				continue
-			}
-			pick := hashMix(seed, uint64(epoch), uint64(k), saltVictim)
-			v := alive[int(pick%uint64(len(alive)))]
-			rt.kill(k, v)
-			changed[k] = true
-			rep.Deaths = append(rep.Deaths, Death{
-				Epoch: epoch, Cluster: k, Sensor: v, Cause: "fault",
-			})
 		}
 	}
 
@@ -126,6 +96,62 @@ func (rt *Runtime) churn(epoch int, outs []clusterEpochOut, rep *EpochReport) {
 	}
 }
 
+// batteryChurnCluster integrates cluster k's epoch energy draw into its
+// batteries and kills the sensors whose batteries empty, appending their
+// deaths (ascending by sensor — the canonical boundary order) to deaths.
+// Returns whether the cluster's connectivity changed. Callers guarantee
+// battery accounting is enabled and energyUse is the cluster's epoch
+// profile.
+func (rt *Runtime) batteryChurnCluster(epoch, k int, energyUse []float64, deaths *[]Death) bool {
+	c := rt.clusters[k]
+	victims := rt.scratchVictims[:0]
+	for v := 1; v <= c.Sensors(); v++ {
+		if rt.dead[k][v] {
+			continue
+		}
+		rt.batteries[k][v] -= energyUse[v]
+		if rt.batteries[k][v] <= 0 {
+			rt.batteries[k][v] = 0
+			victims = append(victims, v)
+			*deaths = append(*deaths, Death{
+				Epoch: epoch, Cluster: k, Sensor: v, Cause: "battery",
+			})
+		}
+	}
+	rt.scratchVictims = victims
+	if len(victims) == 0 {
+		return false
+	}
+	rt.killBatch(k, victims)
+	return true
+}
+
+// faultChurnCluster draws cluster k's injected-fault coin for the
+// boundary after epoch and, on a hit, kills one uniformly drawn reachable
+// sensor. Returns whether a sensor died. The draw is a pure hash of
+// (churn seed, epoch, k), so any process that owns cluster k at this
+// boundary kills the same victim.
+func (rt *Runtime) faultChurnCluster(epoch, k int, deaths *[]Death) bool {
+	c := rt.clusters[k]
+	seed := uint64(rt.cfg.churnSeed())
+	draw := hashMix(seed, uint64(epoch), uint64(k), saltFault)
+	if hashUnit(draw) >= rt.cfg.Churn.FaultRate {
+		return false
+	}
+	alive := c.ReachableInto(rt.scratchReach)
+	rt.scratchReach = alive
+	if len(alive) == 0 {
+		return false
+	}
+	pick := hashMix(seed, uint64(epoch), uint64(k), saltVictim)
+	v := alive[int(pick%uint64(len(alive)))]
+	rt.kill(k, v)
+	*deaths = append(*deaths, Death{
+		Epoch: epoch, Cluster: k, Sensor: v, Cause: "fault",
+	})
+	return true
+}
+
 // kill removes sensor v of cluster k from the network: transmit power to
 // zero, connectivity and levels rebuilt (topo.Cluster.MarkFailed).
 func (rt *Runtime) kill(k, v int) {
@@ -142,17 +168,53 @@ func (rt *Runtime) killBatch(k int, victims []int) {
 	rt.clusters[k].MarkFailedBatch(victims)
 }
 
-// shadowDue reports whether the boundary after the given epoch shifts
-// the shadowing environment.
-func (rt *Runtime) shadowDue(epoch int) bool {
+// shadowEnabled reports whether shadow churn is configured and the
+// propagation model exposes the shadowing hook.
+func (rt *Runtime) shadowEnabled() bool {
 	ch := rt.cfg.Churn
 	if ch.ShadowSigmaDB <= 0 || ch.ShadowEvery <= 0 {
 		return false
 	}
-	if _, ok := rt.cfg.Topo.Prop.(*radio.LogDistance); !ok {
+	_, ok := rt.cfg.Topo.Prop.(*radio.LogDistance)
+	return ok
+}
+
+// shadowDue reports whether the boundary after the given epoch shifts
+// the shadowing environment.
+func (rt *Runtime) shadowDue(epoch int) bool {
+	return rt.shadowEnabled() && (epoch+1)%rt.cfg.Churn.ShadowEvery == 0
+}
+
+// revForEpoch is the shadowing-table revision in force while the given
+// epoch runs: the number of shift boundaries before it. Both the
+// single-process runtime and every distributed worker derive the same
+// revision from the epoch number alone — the radio environment is never
+// part of any handoff payload.
+func (rt *Runtime) revForEpoch(epoch int) int {
+	if !rt.shadowEnabled() {
+		return 0
+	}
+	return epoch / rt.cfg.Churn.ShadowEvery
+}
+
+// installShadow points the shared LogDistance model at the shadowing
+// table for the given revision (revision 0 is the pristine, table-free
+// medium) without refreshing any cluster. Returns false when the
+// propagation model has no shadowing hook. The table is a pure function
+// of (churn seed, revision, sigma), so installs commute: any process can
+// flip between revisions in any order and land on identical link powers.
+func (rt *Runtime) installShadow(rev int) bool {
+	ld, ok := rt.cfg.Topo.Prop.(*radio.LogDistance)
+	if !ok {
 		return false
 	}
-	return (epoch+1)%ch.ShadowEvery == 0
+	if rev == 0 {
+		ld.ShadowDB = nil
+		return true
+	}
+	seed := int64(hashMix(uint64(rt.cfg.churnSeed()), uint64(rev), saltShadow))
+	ld.ShadowDB = radio.HashShadow(seed, rt.cfg.Churn.ShadowSigmaDB)
+	return true
 }
 
 // applyShadow installs the shadow table for the current revision on the
@@ -162,17 +224,30 @@ func (rt *Runtime) shadowDue(epoch int) bool {
 // Refresh cost is O(materialized links) per cluster — the sparse medium
 // re-derives only the link powers it stores, not N^2 pairs.
 func (rt *Runtime) applyShadow() {
-	ld, ok := rt.cfg.Topo.Prop.(*radio.LogDistance)
-	if !ok || rt.shadowRev == 0 {
+	if rt.shadowRev == 0 {
 		return
 	}
-	seed := int64(hashMix(uint64(rt.cfg.churnSeed()), uint64(rt.shadowRev), saltShadow))
-	ld.ShadowDB = radio.HashShadow(seed, rt.cfg.Churn.ShadowSigmaDB)
+	if !rt.installShadow(rt.shadowRev) {
+		return
+	}
 	for _, c := range rt.clusters {
 		if c != nil {
 			c.RefreshConnectivity()
 		}
 	}
+}
+
+// strandedIn counts cluster k's powered sensors without a relaying path
+// to their head.
+func (rt *Runtime) strandedIn(k int) int {
+	c := rt.clusters[k]
+	stranded := 0
+	for v := 1; v <= c.Sensors(); v++ {
+		if !rt.dead[k][v] && c.Level[v] <= 0 {
+			stranded++
+		}
+	}
+	return stranded
 }
 
 // countStranded counts powered sensors without a relaying path to their
@@ -183,11 +258,7 @@ func (rt *Runtime) countStranded() int {
 		if c == nil {
 			continue
 		}
-		for v := 1; v <= c.Sensors(); v++ {
-			if !rt.dead[k][v] && c.Level[v] <= 0 {
-				stranded++
-			}
-		}
+		stranded += rt.strandedIn(k)
 	}
 	return stranded
 }

@@ -295,6 +295,16 @@ type Runtime struct {
 	// counter advances by per-epoch deltas.
 	lastRadioRefreshed uint64
 
+	// Shard mode (see shard.go): per-cluster epoch bookkeeping for a
+	// worker process that owns a subset of the field's clusters. nil until
+	// the first RunShardEpoch/AdoptCluster call; once armed, the whole-
+	// field RunEpoch path is rejected — the two drive the same cluster
+	// state under incompatible invariants.
+	shardEpochs  []int            // per cluster: completed epochs
+	shardRevs    []int            // per cluster: shadow revision its links reflect
+	shardTable   int              // shadow revision installed on the shared model
+	shardResults []*ClusterResult // per cluster: last result, for idempotent re-query
+
 	sum Summary
 }
 
@@ -421,12 +431,58 @@ type clusterEpochOut struct {
 	err          error
 }
 
+// runClusterEpoch executes cluster k's duty cycles for one epoch into
+// out. Shared between RunEpoch's in-process shard fan-out and the
+// distributed shard-scoped path (RunShardEpoch): everything it does is a
+// pure function of (config, cluster state, epoch, k) plus the plan
+// cache, and it only touches cluster k's state, so concurrent calls on
+// different clusters are safe.
+func (rt *Runtime) runClusterEpoch(o exp.Options, epoch, k int, out *clusterEpochOut) {
+	c := rt.clusters[k]
+	if c == nil {
+		return // empty Voronoi cell: no head cycle to run
+	}
+	cycles := rt.cfg.epochCycles()
+	// Dark clusters (no live reachable sensor) still run: the head
+	// keeps broadcasting its wake/sleep cycle whether or not anyone
+	// answers, exactly as the retired sequential helper did.
+	out.live = rt.live(k)
+	pk := rt.cfg.Params
+	pk.Seed = rt.epochSeed(epoch, k)
+	pc := rt.planCaches[k]
+	misses0 := pc.Misses
+	r, err := cluster.NewRunnerCached(c, pk, pc)
+	if err != nil {
+		out.err = fmt.Errorf("field: cluster %d epoch %d: %w", k, epoch, err)
+		return
+	}
+	out.cacheHit = pc.Misses == misses0
+	if !out.cacheHit {
+		out.planSolves = r.Plan.Solves
+		out.planAugments = r.Plan.AugmentingPaths
+	}
+	r.Obs = o.Obs
+	out.unreachable = len(r.Unreachable)
+	s, err := r.Run(cycles)
+	if err != nil {
+		out.err = fmt.Errorf("field: cluster %d epoch %d: %w", k, epoch, err)
+		return
+	}
+	out.summary = s
+	if rt.batteries != nil {
+		out.energyUse = epochEnergy(rt.em, s, cycles)
+	}
+}
+
 // RunEpoch advances the field one epoch: every live cluster runs
 // Config.EpochCycles duty cycles (sharded by channel, workers bounded by
 // o), then the churn boundary injects faults and re-plans. The returned
 // Epoch carries the full per-cluster summaries; the compact row is also
 // appended to the runtime's Summary.
 func (rt *Runtime) RunEpoch(o exp.Options) (*Epoch, error) {
+	if rt.shardEpochs != nil {
+		return nil, fmt.Errorf("field: RunEpoch on a shard-mode runtime")
+	}
 	epoch := rt.epoch
 	p := rt.cfg.Params
 	cycles := rt.cfg.epochCycles()
@@ -439,40 +495,7 @@ func (rt *Runtime) RunEpoch(o exp.Options) (*Epoch, error) {
 	}
 
 	runCluster := func(k int) {
-		out := &outs[k]
-		c := rt.clusters[k]
-		if c == nil {
-			return // empty Voronoi cell: no head cycle to run
-		}
-		// Dark clusters (no live reachable sensor) still run: the head
-		// keeps broadcasting its wake/sleep cycle whether or not anyone
-		// answers, exactly as the retired sequential helper did.
-		out.live = rt.live(k)
-		pk := p
-		pk.Seed = rt.epochSeed(epoch, k)
-		pc := rt.planCaches[k]
-		misses0 := pc.Misses
-		r, err := cluster.NewRunnerCached(c, pk, pc)
-		if err != nil {
-			out.err = fmt.Errorf("field: cluster %d epoch %d: %w", k, epoch, err)
-			return
-		}
-		out.cacheHit = pc.Misses == misses0
-		if !out.cacheHit {
-			out.planSolves = r.Plan.Solves
-			out.planAugments = r.Plan.AugmentingPaths
-		}
-		r.Obs = o.Obs
-		out.unreachable = len(r.Unreachable)
-		s, err := r.Run(cycles)
-		if err != nil {
-			out.err = fmt.Errorf("field: cluster %d epoch %d: %w", k, epoch, err)
-			return
-		}
-		out.summary = s
-		if rt.batteries != nil {
-			out.energyUse = epochEnergy(rt.em, s, cycles)
-		}
+		rt.runClusterEpoch(o, epoch, k, &outs[k])
 	}
 
 	// Shard fan-out: same-channel clusters serialize (token rotation),

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"time"
+
+	"repro/internal/backoff"
 )
 
 // Retry-state markers exposed as Job.RetryState. Empty means the job is
@@ -42,47 +44,18 @@ type retryPolicy struct {
 // in [0, 50%) of the capped delay. The jitter is a pure function of
 // (seed, n) so a given job replays the identical backoff schedule on
 // every daemon — reproducibility is the service's house rule, and it
-// makes the schedule testable.
+// makes the schedule testable. The math lives in internal/backoff so the
+// distributed field coordinator retries shard reassignments on the exact
+// same schedule.
 func (p retryPolicy) delay(n int, seed uint64) time.Duration {
-	if n < 1 {
-		n = 1
-	}
-	d := p.backoff
-	// Double with overflow/cap clamping; past the cap the shift count no
-	// longer matters.
-	for i := 1; i < n; i++ {
-		if d >= p.backoffMax/2 || d <= 0 {
-			d = p.backoffMax
-			break
-		}
-		d *= 2
-	}
-	if d > p.backoffMax {
-		d = p.backoffMax
-	}
-	frac := float64(splitmix64(seed+uint64(n))>>11) / float64(uint64(1)<<53) // [0, 1)
-	return d + time.Duration(float64(d)*0.5*frac)
-}
-
-// splitmix64 is the same stateless mixer the radio loss draws use: one
-// multiply-shift cascade, full 64-bit avalanche, no retained state.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	return backoff.Policy{Base: p.backoff, Max: p.backoffMax}.Delay(n, seed)
 }
 
 // jitterSeed derives a job's backoff-jitter seed from its ID, so two
 // jobs with the same spec (same fingerprint) still spread their retries
 // instead of thundering back in lockstep.
 func jitterSeed(id string) uint64 {
-	h := uint64(0xcbf29ce484222325) // FNV-1a offset basis
-	for i := 0; i < len(id); i++ {
-		h ^= uint64(id[i])
-		h *= 0x100000001b3
-	}
-	return splitmix64(h)
+	return backoff.SeedString(id)
 }
 
 // specFingerprint canonically hashes a spec (its JSON form — field order

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/field"
 	"repro/internal/obs"
@@ -204,6 +205,9 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 	}
 	if spec.Type == TypeField {
 		j.Epochs = spec.Field.epochs()
+	}
+	if spec.Type == TypeDist {
+		j.Epochs = spec.Dist.Field.epochs()
 	}
 	if spec.DeadlineMS > 0 {
 		d := now.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
@@ -557,6 +561,8 @@ func (m *Manager) runJob(id string) {
 		result, err = j.Spec.Sweep.run(exp.Options{Workers: j.Spec.Workers, Ctx: ctx, Obs: m.obs})
 	case TypeProbe:
 		result, err = j.Spec.Probe.run(ctx, j.Attempts)
+	case TypeDist:
+		result, err = m.runDist(ctx, id, &j)
 	default:
 		err = fmt.Errorf("service: unknown job type %q", j.Spec.Type)
 	}
@@ -891,4 +897,70 @@ func (m *Manager) runField(ctx context.Context, id string, j *Job) ([]byte, erro
 		}
 	}
 	return json.MarshalIndent(rt.Summary(), "", "  ")
+}
+
+// runDist executes (or resumes) a distributed field job: this process
+// is the coordinator, the spec's worker URLs are the fleet. The
+// checkpoint discipline is runField's, moved into the coordinator's
+// commit hook: snapshot first (atomic), manifest second, at every epoch
+// boundary — so a daemon crash resumes the coordination from the last
+// committed epoch, re-seeding workers through cluster adoption, and the
+// determinism contract makes the final summary byte-identical anyway.
+func (m *Manager) runDist(ctx context.Context, id string, j *Job) ([]byte, error) {
+	spec := j.Spec.Dist
+	raw, err := json.Marshal(&spec.Field)
+	if err != nil {
+		return nil, err
+	}
+	snapPath := m.spool.SnapshotPath(id)
+	var snap *field.Snapshot
+	s, rerr := field.ReadSnapshotFile(snapPath)
+	switch {
+	case rerr == nil:
+		snap = s
+		if m.obs != nil {
+			m.obs.Add(MetricResumes, 1)
+		}
+		m.log.Printf("job %s: coordinator resuming from checkpoint at epoch %d", id, s.Epoch)
+	case errors.Is(rerr, os.ErrNotExist):
+		// Fresh run.
+	default:
+		m.log.Printf("job %s: unusable checkpoint (%v), restarting from epoch 0", id, rerr)
+	}
+
+	fd := m.feed(id)
+	co, err := dist.New(dist.Config{
+		Session:           id,
+		Spec:              raw,
+		Build:             BuildFieldSpec,
+		Workers:           spec.Workers,
+		Transport:         &dist.HTTPTransport{},
+		Snapshot:          snap,
+		EpochTimeout:      time.Duration(spec.EpochTimeoutMS) * time.Millisecond,
+		HeartbeatInterval: time.Duration(spec.HeartbeatMS) * time.Millisecond,
+		HeartbeatTimeout:  time.Duration(spec.HeartbeatTimeoutMS) * time.Millisecond,
+		Obs:               m.obs,
+		OnCommit: func(sn *field.Snapshot, rep *field.EpochReport) error {
+			if err := sn.WriteFile(snapPath); err != nil {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+			ej, _ := m.store.update(id, func(x *Job) { x.Epoch = rep.Epoch + 1 })
+			if err := m.spool.SaveManifest(&ej); err != nil {
+				return fmt.Errorf("checkpoint manifest: %w", err)
+			}
+			if m.obs != nil {
+				m.obs.Add(MetricCheckpoints, 1)
+			}
+			fd.publish("epoch", rep)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum, err := co.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(sum, "", "  ")
 }

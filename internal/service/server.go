@@ -21,7 +21,8 @@ const maxSpecBytes = 1 << 20
 // progress streams and the Prometheus scrape endpoint.
 //
 //	POST   /v1/jobs             submit (202; 400 invalid; 429 queue full)
-//	GET    /v1/jobs             list jobs (?state= and ?class= filters)
+//	GET    /v1/jobs             list jobs (?state=/?class= filters,
+//	                            ?limit=/?offset= pagination in submit order)
 //	GET    /v1/jobs/{id}        job detail (+ result when done)
 //	POST   /v1/jobs/{id}/cancel cancel queued/running job
 //	DELETE /v1/jobs/{id}        alias for cancel
@@ -58,6 +59,12 @@ func NewServer(m *Manager, reg *obs.Registry, lg *log.Logger) *Server {
 		s.mux.Handle("GET /metrics", reg.Handler())
 	}
 	return s
+}
+
+// Handle mounts an extra handler subtree on the server's mux — the
+// daemon uses it to attach the dist worker API under /v1/worker/.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
 }
 
 // ServeHTTP implements http.Handler with request logging and the HTTP
@@ -140,9 +147,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit, ok := pageParam(w, q.Get("limit"), -1)
+	if !ok {
+		return
+	}
+	offset, ok := pageParam(w, q.Get("offset"), 0)
+	if !ok {
+		return
+	}
+	// Jobs() lists in stable submit order (oldest first, ID tie-break),
+	// so a pagination window is meaningful across requests as long as no
+	// older job disappears.
 	jobs := s.m.Jobs()
-	state := r.URL.Query().Get("state")
-	class := r.URL.Query().Get("class")
+	state := q.Get("state")
+	class := q.Get("class")
 	if state != "" || class != "" {
 		filtered := make([]Job, 0, len(jobs))
 		for _, j := range jobs {
@@ -156,7 +175,31 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		jobs = filtered
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+	// The window applies after filtering; total counts the filtered set
+	// so clients can page without a separate count request.
+	total := len(jobs)
+	if offset > len(jobs) {
+		offset = len(jobs)
+	}
+	jobs = jobs[offset:]
+	if limit >= 0 && limit < len(jobs) {
+		jobs = jobs[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "total": total})
+}
+
+// pageParam parses one non-negative pagination query value, writing the
+// 400 itself when the value is malformed. Empty means the default.
+func pageParam(w http.ResponseWriter, v string, def int) (int, bool) {
+	if v == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("service: bad pagination value %q", v)})
+		return 0, false
+	}
+	return n, true
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

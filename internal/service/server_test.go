@@ -283,8 +283,11 @@ func TestHTTPErrors(t *testing.T) {
 		t.Errorf("unknown job: %d", resp.StatusCode)
 	}
 
-	// Fill the single worker + single queue slot, then overflow.
-	resp1, body1 := postJSON(t, ts.URL+"/v1/jobs", fmt.Sprintf(fieldSpecJSON, 200))
+	// Fill the single worker + single queue slot, then overflow. The
+	// blocker's epoch count only needs to outlast the two submits below
+	// (it is cancelled, never finished) — large enough that a loaded
+	// machine cannot finish it first and turn the 429 into a 202.
+	resp1, body1 := postJSON(t, ts.URL+"/v1/jobs", fmt.Sprintf(fieldSpecJSON, 5000))
 	if resp1.StatusCode != http.StatusAccepted {
 		t.Fatalf("first submit: %d %s", resp1.StatusCode, body1)
 	}

@@ -49,6 +49,13 @@ const (
 	// dead-letter plumbing on a live deployment without burning a real
 	// simulation.
 	TypeProbe = "probe"
+	// TypeDist runs a field simulation distributed across worker daemons
+	// (internal/dist): this process acts as the coordinator, sharding the
+	// field's clusters over the spec's worker URLs and committing every
+	// epoch to the same checkpoint spool a local field job uses. The
+	// determinism contract carries over — the distributed summary is
+	// byte-identical to a single-process run of the same field spec.
+	TypeDist = "dist_field"
 )
 
 // Spec is the job specification clients POST to /v1/jobs. Exactly one of
@@ -66,6 +73,7 @@ type Spec struct {
 	Field   *FieldSpec `json:"field,omitempty"`
 	Sweep   *SweepSpec `json:"sweep,omitempty"`
 	Probe   *ProbeSpec `json:"probe,omitempty"`
+	Dist    *DistSpec  `json:"dist,omitempty"`
 
 	// Class picks the dispatch band: "interactive" > "batch" >
 	// "background". Empty means batch.
@@ -116,7 +124,7 @@ func (s *Spec) Validate() error {
 		if s.Field == nil {
 			return fmt.Errorf("service: field job without field spec")
 		}
-		if s.Sweep != nil || s.Probe != nil {
+		if s.Sweep != nil || s.Probe != nil || s.Dist != nil {
 			return fmt.Errorf("service: field job carries an extra sub-spec")
 		}
 		return s.Field.validate()
@@ -124,7 +132,7 @@ func (s *Spec) Validate() error {
 		if s.Sweep == nil {
 			return fmt.Errorf("service: sweep job without sweep spec")
 		}
-		if s.Field != nil || s.Probe != nil {
+		if s.Field != nil || s.Probe != nil || s.Dist != nil {
 			return fmt.Errorf("service: sweep job carries an extra sub-spec")
 		}
 		return s.Sweep.validate()
@@ -132,12 +140,20 @@ func (s *Spec) Validate() error {
 		if s.Probe == nil {
 			return fmt.Errorf("service: probe job without probe spec")
 		}
-		if s.Field != nil || s.Sweep != nil {
+		if s.Field != nil || s.Sweep != nil || s.Dist != nil {
 			return fmt.Errorf("service: probe job carries an extra sub-spec")
 		}
 		return s.Probe.validate()
+	case TypeDist:
+		if s.Dist == nil {
+			return fmt.Errorf("service: dist_field job without dist spec")
+		}
+		if s.Field != nil || s.Sweep != nil || s.Probe != nil {
+			return fmt.Errorf("service: dist_field job carries an extra sub-spec")
+		}
+		return s.Dist.validate()
 	default:
-		return fmt.Errorf("service: unknown job type %q (want %q, %q or %q)", s.Type, TypeField, TypeSweep, TypeProbe)
+		return fmt.Errorf("service: unknown job type %q (want %q, %q, %q or %q)", s.Type, TypeField, TypeSweep, TypeProbe, TypeDist)
 	}
 }
 
@@ -399,6 +415,55 @@ func (fs *FieldSpec) Build() (*topo.Field, field.Config, error) {
 		},
 	}
 	return f, cfg, nil
+}
+
+// DistSpec describes a distributed field run: the field itself (the
+// same pure-data FieldSpec a local field job uses — that is what makes
+// the distributed result comparable to the local one) plus the worker
+// fleet and the coordinator's failure-detection knobs.
+type DistSpec struct {
+	// Field is the simulation, identical in meaning to a field job's
+	// spec. It is also the wire payload: workers receive these bytes and
+	// rebuild the same world through BuildFieldSpec.
+	Field FieldSpec `json:"field"`
+	// Workers are the worker daemons' base URLs
+	// ("http://127.0.0.1:9101"); at least one is required.
+	Workers []string `json:"workers"`
+	// EpochTimeoutMS bounds one worker call (0 = dist default).
+	EpochTimeoutMS int64 `json:"epoch_timeout_ms,omitempty"`
+	// HeartbeatMS is the ping interval (0 = dist default).
+	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
+	// HeartbeatTimeoutMS is the silence that writes a worker off
+	// (0 = dist default).
+	HeartbeatTimeoutMS int64 `json:"heartbeat_timeout_ms,omitempty"`
+}
+
+func (ds *DistSpec) validate() error {
+	if len(ds.Workers) == 0 {
+		return fmt.Errorf("service: dist_field job needs at least one worker URL")
+	}
+	for _, w := range ds.Workers {
+		if w == "" {
+			return fmt.Errorf("service: empty dist_field worker URL")
+		}
+	}
+	if ds.EpochTimeoutMS < 0 || ds.HeartbeatMS < 0 || ds.HeartbeatTimeoutMS < 0 {
+		return fmt.Errorf("service: negative dist_field timeout")
+	}
+	return ds.Field.validate()
+}
+
+// BuildFieldSpec is the dist.Builder both sides of the worker protocol
+// share: the session's opaque spec bytes are a FieldSpec. The
+// coordinator (runDist) and the worker host (mhpolld's /v1/worker
+// mount) build through this same function, which is what makes the
+// FieldHash handshake meaningful — equal bytes, equal worlds.
+func BuildFieldSpec(raw json.RawMessage) (*topo.Field, field.Config, error) {
+	var fs FieldSpec
+	if err := json.Unmarshal(raw, &fs); err != nil {
+		return nil, field.Config{}, fmt.Errorf("service: decode field spec: %w", err)
+	}
+	return fs.Build()
 }
 
 // Sweep figures the service can run.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 )
 
@@ -115,6 +116,12 @@ func (f *feed) since(after int) ([]sseEvent, bool, <-chan struct{}) {
 //	id: 3
 //	event: epoch
 //	data: {...}
+//
+// A reconnecting client sends Last-Event-ID (the browser EventSource
+// does this automatically); the stream then resumes after that
+// sequence number instead of replaying the whole log. An unparsable or
+// stale header falls back to a full replay — IDs survive feed trimming,
+// so a cursor past the trim horizon simply skips what was dropped.
 func serveSSE(w http.ResponseWriter, r *http.Request, f *feed) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -129,6 +136,11 @@ func serveSSE(w http.ResponseWriter, r *http.Request, f *feed) {
 	fl.Flush()
 
 	cursor := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			cursor = n
+		}
+	}
 	for {
 		events, closed, changed := f.since(cursor)
 		for _, e := range events {

@@ -458,6 +458,42 @@ func (f *Field) Fingerprint() uint64 {
 	return h
 }
 
+// ClusterFingerprint returns a deterministic hash of one cluster's slice
+// of the deployment: the head position plus the positions and field
+// indices of the sensors Voronoi-assigned to it. Distributed shard
+// handoffs carry it so a checkpoint for cluster k of one field can never
+// be adopted into cluster k of another (or into a different cluster of
+// the same field) without being rejected.
+func (f *Field) ClusterFingerprint(k int) uint64 {
+	const (
+		offset = 14695981039346656037 // FNV-1a
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	point := func(p geom.Point) {
+		mix(math.Float64bits(p.X))
+		mix(math.Float64bits(p.Y))
+	}
+	mix(uint64(uint32(k)))
+	if k < 0 || k >= len(f.Heads) {
+		return h
+	}
+	point(f.Heads[k])
+	for i, p := range f.Sensors {
+		if f.Assign[i] == k {
+			mix(uint64(uint32(i)))
+			point(p)
+		}
+	}
+	return h
+}
+
 // BuildCluster materializes field cluster k as a Cluster: the head at its
 // actual position plus the sensors Voronoi-assigned to it. Unlike Build,
 // no connectivity retry is possible (the positions are fixed), so sensors
