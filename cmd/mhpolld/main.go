@@ -29,6 +29,13 @@
 // reassigning shards to survivors, and finishes with a summary
 // byte-identical to a single-process run of the same field spec.
 //
+// Observability: the registry is sampled into an in-memory history
+// store every -sample (query it at /v1/series), declarative alert
+// rules — built-in defaults overlaid by -rules and POST
+// /v1/alerts/rules — evaluate on the same tick, and firing/resolved
+// transitions stream at /v1/alerts/events and POST to -webhook.
+// GET /v1/healthz reports uptime, queue pressure and pool occupancy.
+//
 // Shutdown: SIGINT/SIGTERM stops accepting requests, cancels running
 // jobs (each stops at its next epoch boundary, checkpoint already on
 // disk) and drains the pool under -drain; a second signal aborts.
@@ -45,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/alerting"
 	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/field"
@@ -66,6 +74,11 @@ func main() {
 
 		breakerThreshold = flag.Int("breaker-threshold", 5, "consecutive failures of one spec that trip its circuit breaker (negative disables)")
 		breakerCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "how long a tripped breaker parks attempts before a half-open probe")
+
+		sample  = flag.Duration("sample", 5*time.Second, "metric history sample and alert evaluation interval")
+		history = flag.Int("history", alerting.DefaultCapacity, "metric history ring capacity (samples retained per series)")
+		rules   = flag.String("rules", "", "JSON alert rules file, overlaid on the built-in defaults by name")
+		webhook = flag.String("webhook", "", "URL alert notifications POST to (empty disables the webhook sink)")
 	)
 	flag.Parse()
 
@@ -75,6 +88,7 @@ func main() {
 	routing.RegisterMetrics(reg)
 	service.RegisterMetrics(reg)
 	dist.RegisterMetrics(reg)
+	alerting.RegisterMetrics(reg)
 	logger := log.Default()
 
 	m, err := service.New(service.Config{
@@ -98,6 +112,41 @@ func main() {
 	wh := dist.NewWorkerHost(service.BuildFieldSpec)
 	wh.Obs = reg.Observer()
 	api.Handle("/v1/worker/", wh.Handler())
+
+	// Fleet observability: sample the registry into the history store,
+	// evaluate the alert rules, notify. Operator rules overlay the
+	// defaults by name.
+	var sinks []alerting.Sink
+	if *webhook != "" {
+		sinks = append(sinks, &alerting.WebhookSink{URL: *webhook})
+	}
+	engine := alerting.New(alerting.Config{
+		Registry: reg,
+		Interval: *sample,
+		Capacity: *history,
+		Sinks:    sinks,
+		Log:      logger,
+	})
+	if err := engine.SetRules(alerting.DefaultRules()); err != nil {
+		log.Fatal(err)
+	}
+	if *rules != "" {
+		rs, err := alerting.LoadRulesFile(*rules)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := engine.SetRules(rs); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d alert rules from %s", len(rs), *rules)
+	}
+	alertHandler := engine.Handler()
+	api.Handle("/v1/series", alertHandler)
+	api.Handle("/v1/alerts", alertHandler)
+	api.Handle("/v1/alerts/", alertHandler)
+	engineCtx, engineStop := context.WithCancel(context.Background())
+	defer engineStop()
+	go engine.Run(engineCtx)
 
 	srv := &http.Server{
 		Addr:              *addr,

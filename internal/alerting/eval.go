@@ -1,0 +1,194 @@
+package alerting
+
+import (
+	"sort"
+	"time"
+)
+
+// Alert states. The per-rule machine:
+//
+//	inactive ──cond──▶ pending ──held for for_ms──▶ firing
+//	    ▲                 │cond clears                  │cond clears
+//	    └─────────────────┘                             ▼
+//	         cond (re-arms) ◀──────────────────────  resolved
+//
+// for_ms = 0 skips pending. resolved is sticky — it records that the
+// alert fired and recovered — until the condition trips again, which
+// re-arms the machine through pending.
+const (
+	StateInactive = "inactive"
+	StatePending  = "pending"
+	StateFiring   = "firing"
+	StateResolved = "resolved"
+)
+
+// Alert is the externally visible state of one rule.
+type Alert struct {
+	Rule     string            `json:"rule"`
+	Series   string            `json:"series"`
+	State    string            `json:"state"`
+	Severity string            `json:"severity"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	// Value is the last computed expression value (NaN never appears:
+	// absent rules report 0).
+	Value float64 `json:"value"`
+	// Since is when the alert entered its current state.
+	Since time.Time `json:"since"`
+	// FiredAt is when the current/most recent firing began; with State
+	// "firing" it identifies the incident (notification dedup key).
+	FiredAt *time.Time `json:"fired_at,omitempty"`
+}
+
+// Transition is one state change produced by an evaluation tick.
+type Transition struct {
+	Alert Alert  `json:"alert"`
+	From  string `json:"from"`
+}
+
+// ruleState is the evaluator's per-rule bookkeeping.
+type ruleState struct {
+	rule    Rule
+	state   string
+	since   time.Time
+	firedAt time.Time // zero until the first firing
+	value   float64
+}
+
+// evaluator drives every rule's state machine against the history store.
+// Not self-synchronized — the engine serializes ticks and rule edits.
+type evaluator struct {
+	interval time.Duration
+	rules    map[string]*ruleState
+}
+
+func newEvaluator(interval time.Duration) *evaluator {
+	return &evaluator{interval: interval, rules: make(map[string]*ruleState)}
+}
+
+// upsert installs or replaces a rule. Replacing resets the rule's state
+// machine — a rewritten condition starts from inactive, it does not
+// inherit the old rule's dwell.
+func (e *evaluator) upsert(r Rule, now time.Time) {
+	e.rules[r.Name] = &ruleState{rule: r, state: StateInactive, since: now}
+}
+
+// remove drops a rule; reports whether it existed.
+func (e *evaluator) remove(name string) bool {
+	_, ok := e.rules[name]
+	delete(e.rules, name)
+	return ok
+}
+
+// names returns the rule names sorted, for deterministic iteration.
+func (e *evaluator) names() []string {
+	out := make([]string, 0, len(e.rules))
+	for n := range e.rules {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// alert renders a rule's externally visible state.
+func (rs *ruleState) alert() Alert {
+	a := Alert{
+		Rule:     rs.rule.Name,
+		Series:   rs.rule.Expr.Series,
+		State:    rs.state,
+		Severity: rs.rule.severity(),
+		Labels:   rs.rule.Labels,
+		Value:    rs.value,
+		Since:    rs.since,
+	}
+	if !rs.firedAt.IsZero() {
+		t := rs.firedAt
+		a.FiredAt = &t
+	}
+	return a
+}
+
+// condition computes the rule's expression against the history at now.
+func (e *evaluator) condition(rs *ruleState, h *History, now time.Time) (bool, float64) {
+	r := &rs.rule
+	w := r.window(e.interval)
+	switch r.Expr.Kind {
+	case ExprThreshold:
+		p, ok := h.Latest(r.Expr.Series, now, w)
+		if !ok {
+			return false, rs.value // no fresh data: hold the last value, don't fire
+		}
+		return compare(r.Expr.Op, p.V, r.Expr.Value), p.V
+	case ExprAbsent:
+		_, ok := h.Latest(r.Expr.Series, now, w)
+		return !ok, 0
+	case ExprRate:
+		rate, ok := h.Rate(r.Expr.Series, now, w)
+		if !ok {
+			return false, rs.value
+		}
+		return compare(r.Expr.Op, rate, r.Expr.Value), rate
+	}
+	return false, 0
+}
+
+// eval advances every rule's machine one tick and returns the
+// transitions, in rule-name order.
+func (e *evaluator) eval(h *History, now time.Time) []Transition {
+	var out []Transition
+	for _, name := range e.names() {
+		rs := e.rules[name]
+		cond, v := e.condition(rs, h, now)
+		rs.value = v
+		from := rs.state
+		switch rs.state {
+		case StateInactive, StateResolved:
+			if cond {
+				if rs.rule.forDuration() <= 0 {
+					rs.state = StateFiring
+					rs.firedAt = now
+				} else {
+					rs.state = StatePending
+				}
+				rs.since = now
+			}
+		case StatePending:
+			if !cond {
+				rs.state = StateInactive
+				rs.since = now
+			} else if now.Sub(rs.since) >= rs.rule.forDuration() {
+				rs.state = StateFiring
+				rs.firedAt = now
+				rs.since = now
+			}
+		case StateFiring:
+			if !cond {
+				rs.state = StateResolved
+				rs.since = now
+			}
+		}
+		if rs.state != from {
+			out = append(out, Transition{Alert: rs.alert(), From: from})
+		}
+	}
+	return out
+}
+
+// alerts snapshots every rule's current state, rule-name order.
+func (e *evaluator) alerts() []Alert {
+	out := make([]Alert, 0, len(e.rules))
+	for _, name := range e.names() {
+		out = append(out, e.rules[name].alert())
+	}
+	return out
+}
+
+// firing counts rules currently in StateFiring.
+func (e *evaluator) firing() int {
+	n := 0
+	for _, rs := range e.rules {
+		if rs.state == StateFiring {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package alerting
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/sse"
+)
+
+// maxRuleBytes bounds a POST /v1/alerts/rules body.
+const maxRuleBytes = 1 << 20
+
+// Handler returns the alerting HTTP API, ready to mount on the daemon
+// mux:
+//
+//	GET    /v1/series                 list retained series names
+//	GET    /v1/series?name=&since=&step=  query one series' history
+//	GET    /v1/alerts                 every rule's current alert state
+//	GET    /v1/alerts/rules           list installed rules
+//	POST   /v1/alerts/rules           upsert one rule (or {"rules":[...]})
+//	DELETE /v1/alerts/rules/{name}    remove a rule
+//	GET    /v1/alerts/events          SSE stream of alert transitions
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/series", e.handleSeries)
+	mux.HandleFunc("GET /v1/alerts", e.handleAlerts)
+	mux.HandleFunc("GET /v1/alerts/rules", e.handleRulesList)
+	mux.HandleFunc("POST /v1/alerts/rules", e.handleRulesUpsert)
+	mux.HandleFunc("DELETE /v1/alerts/rules/{name}", e.handleRulesDelete)
+	mux.HandleFunc("GET /v1/alerts/events", func(w http.ResponseWriter, r *http.Request) {
+		sse.Serve(w, r, e.feed)
+	})
+	return mux
+}
+
+// httpError is the uniform error body (matches the service API).
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func respond(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleSeries serves either the retained-series catalogue (no name
+// param) or one series' ring contents. since accepts RFC 3339 or unix
+// seconds; step is a Go duration that downsamples to the first point
+// per step bucket.
+func (e *Engine) handleSeries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		respond(w, http.StatusOK, map[string]any{
+			"series":   e.hist.Names(),
+			"capacity": e.hist.Capacity(),
+		})
+		return
+	}
+	var since time.Time
+	if s := q.Get("since"); s != "" {
+		t, err := parseTime(s)
+		if err != nil {
+			respond(w, http.StatusBadRequest, httpError{Error: "bad since: " + err.Error()})
+			return
+		}
+		since = t
+	}
+	var step time.Duration
+	if s := q.Get("step"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			respond(w, http.StatusBadRequest, httpError{Error: "bad step: " + s})
+			return
+		}
+		step = d
+	}
+	pts := e.hist.Query(name, since, step)
+	if pts == nil {
+		pts = []Point{}
+	}
+	respond(w, http.StatusOK, map[string]any{"name": name, "points": pts})
+}
+
+// parseTime accepts RFC 3339 or integer unix seconds.
+func parseTime(s string) (time.Time, error) {
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(sec, 0).UTC(), nil
+	}
+	return time.Parse(time.RFC3339, s)
+}
+
+func (e *Engine) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	respond(w, http.StatusOK, map[string]any{"alerts": e.Alerts()})
+}
+
+func (e *Engine) handleRulesList(w http.ResponseWriter, r *http.Request) {
+	respond(w, http.StatusOK, map[string]any{"rules": e.Rules()})
+}
+
+// handleRulesUpsert accepts either a single rule object or a
+// {"rules":[...]} batch (the same shape LoadRulesFile reads).
+func (e *Engine) handleRulesUpsert(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxRuleBytes)
+	var raw json.RawMessage
+	if err := json.NewDecoder(body).Decode(&raw); err != nil {
+		respond(w, http.StatusBadRequest, httpError{Error: "bad rule: " + err.Error()})
+		return
+	}
+	var batch struct {
+		Rules []Rule `json:"rules"`
+	}
+	rules := batch.Rules
+	if err := json.Unmarshal(raw, &batch); err != nil || batch.Rules == nil {
+		var one Rule
+		if err := json.Unmarshal(raw, &one); err != nil {
+			respond(w, http.StatusBadRequest, httpError{Error: "bad rule: " + err.Error()})
+			return
+		}
+		rules = []Rule{one}
+	} else {
+		rules = batch.Rules
+	}
+	if err := e.SetRules(rules); err != nil {
+		respond(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	respond(w, http.StatusOK, map[string]any{"rules": e.Rules()})
+}
+
+func (e *Engine) handleRulesDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !e.Remove(name) {
+		respond(w, http.StatusNotFound, httpError{Error: "alerting: no rule " + name})
+		return
+	}
+	respond(w, http.StatusOK, map[string]any{"removed": name})
+}

@@ -1,0 +1,45 @@
+package alerting
+
+import "repro/internal/obs"
+
+// Alerting metric families — the subsystem watches everything else, and
+// these series let /metrics watch the watcher.
+const (
+	// MetricRulesActive gauges loaded alert rules.
+	MetricRulesActive = "alerting_rules_active"
+	// MetricAlertsFiring gauges rules currently in the firing state.
+	MetricAlertsFiring = "alerting_alerts_firing"
+	// MetricNotifications counts dispatched notifications, labeled
+	// result="ok"|"error"|"dropped" (dropped = dispatch queue full or
+	// duplicate suppressed after a partial failure).
+	MetricNotifications = "alerting_notifications_total"
+	// MetricSamples counts history sample ticks taken.
+	MetricSamples = "alerting_samples_total"
+	// MetricHistorySeries gauges the series retained in the history
+	// store (memory bound = this × ring capacity points).
+	MetricHistorySeries = "alerting_history_series"
+	// MetricTransitions counts alert state transitions, labeled
+	// to="pending"|"firing"|"resolved"|"inactive".
+	MetricTransitions = "alerting_transitions_total"
+)
+
+var (
+	seriesNotifyOK      = obs.Series(MetricNotifications, "result", "ok")
+	seriesNotifyError   = obs.Series(MetricNotifications, "result", "error")
+	seriesNotifyDropped = obs.Series(MetricNotifications, "result", "dropped")
+)
+
+// RegisterMetrics pre-registers the alerting series with help text;
+// emission works without it, registering makes /metrics self-describing.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Gauge(MetricRulesActive, "loaded alert rules")
+	reg.Gauge(MetricAlertsFiring, "alert rules currently firing")
+	reg.Counter(seriesNotifyOK, "dispatched alert notifications")
+	reg.Counter(seriesNotifyError, "dispatched alert notifications")
+	reg.Counter(seriesNotifyDropped, "dispatched alert notifications")
+	reg.Counter(MetricSamples, "history sample ticks taken")
+	reg.Gauge(MetricHistorySeries, "series retained in the history store")
+	for _, to := range []string{StatePending, StateFiring, StateResolved, StateInactive} {
+		reg.Counter(obs.Series(MetricTransitions, "to", to), "alert state transitions")
+	}
+}

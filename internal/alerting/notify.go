@@ -1,0 +1,210 @@
+package alerting
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/obs"
+)
+
+// Notification is one alert lifecycle event handed to sinks: a rule
+// started firing, or a firing rule resolved. FiredAt identifies the
+// incident — it is the dedup key component that makes delivery
+// exactly-once per firing even across dispatch retries.
+type Notification struct {
+	Rule     string            `json:"rule"`
+	Type     string            `json:"type"` // "firing" | "resolved"
+	Severity string            `json:"severity"`
+	Series   string            `json:"series"`
+	Value    float64           `json:"value"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	FiredAt  time.Time         `json:"fired_at"`
+	At       time.Time         `json:"at"`
+}
+
+// key is the dedup identity: one firing (and its resolution) delivers
+// once no matter how the evaluator or dispatcher is retried.
+func (n *Notification) key() string {
+	return n.Rule + "|" + strconv.FormatInt(n.FiredAt.UnixNano(), 10) + "|" + n.Type
+}
+
+// Sink delivers one notification. Notify is called from the dispatch
+// goroutine; an error means the dispatcher retries with backoff until
+// its attempt budget runs out.
+type Sink interface {
+	Name() string
+	Notify(ctx context.Context, n Notification) error
+}
+
+// LogSink writes notifications to the daemon log — the terminal sink
+// that is always configured, so an alert is never silently invisible.
+type LogSink struct{ Log *log.Logger }
+
+// Name implements Sink.
+func (s *LogSink) Name() string { return "log" }
+
+// Notify implements Sink.
+func (s *LogSink) Notify(_ context.Context, n Notification) error {
+	s.Log.Printf("alert %s: rule %s (%s) %s value=%g", n.Type, n.Rule, n.Severity, n.Series, n.Value)
+	return nil
+}
+
+// WebhookSink POSTs the notification JSON to a URL. One call is one
+// attempt — retries and backoff belong to the dispatcher, so every sink
+// shares the same deterministic schedule.
+type WebhookSink struct {
+	URL string
+	// Client defaults to an http.Client with a 10s timeout.
+	Client *http.Client
+}
+
+// Name implements Sink.
+func (s *WebhookSink) Name() string { return "webhook" }
+
+// Notify implements Sink.
+func (s *WebhookSink) Notify(ctx context.Context, n Notification) error {
+	body, err := json.Marshal(&n)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.URL, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c := s.Client
+	if c == nil {
+		c = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("alerting: webhook %s: status %s", s.URL, resp.Status)
+	}
+	return nil
+}
+
+// maxDeliveredKeys bounds the dedup memory: old incident keys age out
+// FIFO once the window is full (by then their retries are long over).
+const maxDeliveredKeys = 4096
+
+// dispatcher fans notifications out to the sinks on its own goroutine:
+// per-notification retry with the shared backoff kernel, dedup by
+// (rule, fired-at, type), bounded queue with drop-and-count overflow
+// (the log sink inside the engine still records the transition, so a
+// drop loses a delivery, never the information).
+type dispatcher struct {
+	sinks   []Sink
+	policy  backoff.Policy
+	budget  int // attempts per sink per notification
+	queue   chan Notification
+	obs     obs.Observer
+	log     *log.Logger
+	clock   obs.Clock
+	seen    map[string]struct{}
+	seenLog []string // FIFO eviction order
+}
+
+func newDispatcher(sinks []Sink, policy backoff.Policy, budget int, o obs.Observer, lg *log.Logger, clock obs.Clock) *dispatcher {
+	if policy.Base <= 0 {
+		policy.Base = time.Second
+	}
+	if policy.Max <= 0 {
+		policy.Max = 30 * time.Second
+	}
+	if budget < 1 {
+		budget = 5
+	}
+	return &dispatcher{
+		sinks:  sinks,
+		policy: policy,
+		budget: budget,
+		queue:  make(chan Notification, 256),
+		obs:    o,
+		log:    lg,
+		clock:  clock,
+		seen:   make(map[string]struct{}),
+	}
+}
+
+// enqueue hands a notification to the dispatch goroutine. Duplicates of
+// an already-enqueued incident and overflow beyond the queue capacity
+// are dropped (counted, logged) — alert delivery must never block the
+// evaluation tick.
+func (d *dispatcher) enqueue(n Notification) {
+	k := n.key()
+	if _, dup := d.seen[k]; dup {
+		return
+	}
+	d.seen[k] = struct{}{}
+	d.seenLog = append(d.seenLog, k)
+	if len(d.seenLog) > maxDeliveredKeys {
+		delete(d.seen, d.seenLog[0])
+		d.seenLog = d.seenLog[1:]
+	}
+	select {
+	case d.queue <- n:
+	default:
+		if d.obs != nil {
+			d.obs.Add(seriesNotifyDropped, 1)
+		}
+		d.log.Printf("alert dispatch: queue full, dropped %s %s", n.Type, n.Rule)
+	}
+}
+
+// run drains the queue until ctx is done.
+func (d *dispatcher) run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case n := <-d.queue:
+			d.deliver(ctx, n)
+		}
+	}
+}
+
+// deliver pushes one notification to every sink, retrying each sink
+// independently on the deterministic backoff schedule.
+func (d *dispatcher) deliver(ctx context.Context, n Notification) {
+	seed := backoff.SeedString(n.key())
+	for _, s := range d.sinks {
+		var err error
+		for attempt := 1; attempt <= d.budget; attempt++ {
+			if err = s.Notify(ctx, n); err == nil {
+				break
+			}
+			if attempt == d.budget || ctx.Err() != nil {
+				break
+			}
+			wait := d.policy.Delay(attempt, seed)
+			d.log.Printf("alert dispatch: %s sink attempt %d/%d failed (%v), retry in %s",
+				s.Name(), attempt, d.budget, err, wait.Round(time.Millisecond))
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+		}
+		if d.obs != nil {
+			if err == nil {
+				d.obs.Add(seriesNotifyOK, 1)
+			} else {
+				d.obs.Add(seriesNotifyError, 1)
+			}
+		}
+		if err != nil {
+			d.log.Printf("alert dispatch: %s sink gave up on %s %s: %v", s.Name(), n.Type, n.Rule, err)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package alerting
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/obs"
+)
+
+func testNotification(rule string) Notification {
+	return Notification{
+		Rule:     rule,
+		Type:     StateFiring,
+		Severity: SeverityWarning,
+		Series:   "g",
+		Value:    3,
+		FiredAt:  tick(4),
+		At:       tick(4),
+	}
+}
+
+func discard() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// fastPolicy keeps retry waits microscopic in tests.
+var fastPolicy = backoff.Policy{Base: time.Millisecond, Max: 2 * time.Millisecond}
+
+func TestWebhookSinkDelivers(t *testing.T) {
+	var got atomic.Pointer[Notification]
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var n Notification
+		if err := json.NewDecoder(r.Body).Decode(&n); err != nil {
+			t.Errorf("bad webhook body: %v", err)
+		}
+		got.Store(&n)
+	}))
+	defer srv.Close()
+
+	s := &WebhookSink{URL: srv.URL}
+	if err := s.Notify(context.Background(), testNotification("r1")); err != nil {
+		t.Fatal(err)
+	}
+	n := got.Load()
+	if n == nil || n.Rule != "r1" || n.Type != StateFiring || !n.FiredAt.Equal(tick(4)) {
+		t.Fatalf("webhook received %+v", n)
+	}
+}
+
+func TestWebhookSinkNon2xxIsError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	s := &WebhookSink{URL: srv.URL}
+	if err := s.Notify(context.Background(), testNotification("r1")); err == nil {
+		t.Fatal("500 response did not error")
+	}
+}
+
+// flakySink fails the first n calls then succeeds.
+type flakySink struct {
+	mu    sync.Mutex
+	fails int
+	calls int
+}
+
+func (s *flakySink) Name() string { return "flaky" }
+func (s *flakySink) Notify(context.Context, Notification) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if s.calls <= s.fails {
+		return errors.New("transient")
+	}
+	return nil
+}
+
+func (s *flakySink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func TestDispatcherRetriesUntilSuccess(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := &flakySink{fails: 2}
+	d := newDispatcher([]Sink{sink}, fastPolicy, 5, reg.Observer(), discard(), nil)
+	d.deliver(context.Background(), testNotification("r1"))
+	if got := sink.count(); got != 3 {
+		t.Fatalf("sink called %d times, want 2 failures + 1 success", got)
+	}
+	if v := counterValue(t, reg, seriesNotifyOK); v != 1 {
+		t.Fatalf("ok notifications = %g, want 1", v)
+	}
+	if v := counterValue(t, reg, seriesNotifyError); v != 0 {
+		t.Fatalf("error notifications = %g, want 0", v)
+	}
+}
+
+func TestDispatcherGivesUpAfterBudget(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := &flakySink{fails: 100}
+	d := newDispatcher([]Sink{sink}, fastPolicy, 3, reg.Observer(), discard(), nil)
+	d.deliver(context.Background(), testNotification("r1"))
+	if got := sink.count(); got != 3 {
+		t.Fatalf("sink called %d times, want exactly the budget", got)
+	}
+	if v := counterValue(t, reg, seriesNotifyError); v != 1 {
+		t.Fatalf("error notifications = %g, want 1", v)
+	}
+}
+
+func TestEnqueueDedupsByIncident(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := newDispatcher(nil, fastPolicy, 1, reg.Observer(), discard(), nil)
+	n := testNotification("r1")
+	d.enqueue(n)
+	d.enqueue(n) // same rule, same FiredAt, same type: duplicate
+	resolved := n
+	resolved.Type = StateResolved
+	d.enqueue(resolved) // same incident, different type: distinct
+	refire := n
+	refire.FiredAt = tick(9)
+	d.enqueue(refire) // new incident
+	if got := len(d.queue); got != 3 {
+		t.Fatalf("queue holds %d notifications, want 3 (dup suppressed)", got)
+	}
+}
+
+func TestEnqueueDropsOnOverflow(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := newDispatcher(nil, fastPolicy, 1, reg.Observer(), discard(), nil)
+	for i := 0; i < cap(d.queue)+5; i++ {
+		n := testNotification("r1")
+		n.FiredAt = tick(i) // each a distinct incident
+		d.enqueue(n)
+	}
+	if v := counterValue(t, reg, seriesNotifyDropped); v != 5 {
+		t.Fatalf("dropped = %g, want 5", v)
+	}
+}
+
+func TestDedupMemoryBounded(t *testing.T) {
+	d := newDispatcher(nil, fastPolicy, 1, nil, discard(), nil)
+	for i := 0; i < maxDeliveredKeys*2; i++ {
+		n := testNotification("r1")
+		n.FiredAt = tick(i)
+		k := n.key()
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		d.seenLog = append(d.seenLog, k)
+		if len(d.seenLog) > maxDeliveredKeys {
+			delete(d.seen, d.seenLog[0])
+			d.seenLog = d.seenLog[1:]
+		}
+	}
+	if len(d.seen) != maxDeliveredKeys || len(d.seenLog) != maxDeliveredKeys {
+		t.Fatalf("dedup set grew to %d/%d, want bounded at %d",
+			len(d.seen), len(d.seenLog), maxDeliveredKeys)
+	}
+}
+
+// counterValue reads one series' value from a registry snapshot.
+func counterValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}

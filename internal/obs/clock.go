@@ -1,0 +1,18 @@
+package obs
+
+import "time"
+
+// Clock is the injectable time seam the observability stack shares: the
+// history sampler ticks it, alert state machines diff it, and tests
+// substitute a hand-cranked fake so "for 30s" rules fire deterministically
+// in microseconds. A nil Clock means the system clock, so call sites can
+// thread an optional Clock without branching.
+type Clock func() time.Time
+
+// Now returns the clock's current time; nil falls back to time.Now.
+func (c Clock) Now() time.Time {
+	if c == nil {
+		return time.Now()
+	}
+	return c()
+}

@@ -179,6 +179,11 @@ type metric struct {
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
+	// order caches the family-then-labels sorted metric list Snapshot
+	// and Each iterate; registration of a new series invalidates it.
+	// Once built it is never mutated (replaced wholesale), so iterators
+	// may keep a reference without holding mu.
+	order []*metric
 }
 
 // NewRegistry returns an empty registry.
@@ -192,6 +197,7 @@ func (r *Registry) lookup(name string, kind Kind) *metric {
 		family, labels := splitSeries(name)
 		m = &metric{name: name, family: family, labels: labels, kind: kind}
 		r.metrics[name] = m
+		r.order = nil // sorted iteration order is stale
 		return m
 	}
 	if m.kind != kind {
@@ -274,23 +280,37 @@ type MetricSnapshot struct {
 	Buckets []Bucket `json:"buckets,omitempty"` // histogram, cumulative
 }
 
-// Snapshot freezes every series, sorted by family then label body so
-// output is deterministic regardless of registration interleaving.
-func (r *Registry) Snapshot() []MetricSnapshot {
+// sorted returns the cached family-then-labels metric order, rebuilding
+// it if registration invalidated it. The returned slice is immutable.
+func (r *Registry) sorted() []*metric {
 	r.mu.Lock()
-	ms := make([]*metric, 0, len(r.metrics))
-	for _, m := range r.metrics {
-		ms = append(ms, m)
-	}
-	r.mu.Unlock()
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].family != ms[j].family {
-			return ms[i].family < ms[j].family
+	defer r.mu.Unlock()
+	if r.order == nil {
+		ms := make([]*metric, 0, len(r.metrics))
+		for _, m := range r.metrics {
+			ms = append(ms, m)
 		}
-		return ms[i].labels < ms[j].labels
-	})
-	out := make([]MetricSnapshot, 0, len(ms))
-	for _, m := range ms {
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].family != ms[j].family {
+				return ms[i].family < ms[j].family
+			}
+			return ms[i].labels < ms[j].labels
+		})
+		r.order = ms
+	}
+	return r.order
+}
+
+// Each visits every series in deterministic (family, then label body)
+// order without materializing a []MetricSnapshot — the seam the history
+// sampler ticks through so a per-interval sample costs no garbage
+// proportional to the registry size. Histogram buckets are cumulative
+// (Prometheus le semantics), matching Snapshot; the visited snapshot's
+// Buckets slice is scratch reused across calls to fn, so callers that
+// retain bucket data must copy it before returning.
+func (r *Registry) Each(fn func(MetricSnapshot)) {
+	var scratch []Bucket
+	for _, m := range r.sorted() {
 		s := MetricSnapshot{Name: m.name, Kind: m.kind, Help: m.help}
 		switch m.kind {
 		case KindCounter:
@@ -300,16 +320,32 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		case KindHistogram:
 			s.Count = m.h.Count()
 			s.Sum = m.h.Sum()
+			scratch = scratch[:0]
 			var cum uint64
 			for i, b := range m.h.bounds {
 				cum += m.h.counts[i].Load()
-				s.Buckets = append(s.Buckets, Bucket{LE: b, Count: cum})
+				scratch = append(scratch, Bucket{LE: b, Count: cum})
 			}
 			cum += m.h.counts[len(m.h.bounds)].Load()
-			s.Buckets = append(s.Buckets, Bucket{LE: math.Inf(1), Count: cum})
+			scratch = append(scratch, Bucket{LE: math.Inf(1), Count: cum})
+			s.Buckets = scratch
+		}
+		fn(s)
+	}
+}
+
+// Snapshot freezes every series, sorted by family then label body so
+// output is deterministic regardless of registration interleaving.
+// Histogram buckets are cumulative, so bucket-level rate math (t1 - t0
+// per bucket) works directly on successive snapshots.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	out := make([]MetricSnapshot, 0, len(r.sorted()))
+	r.Each(func(s MetricSnapshot) {
+		if len(s.Buckets) > 0 {
+			s.Buckets = append([]Bucket(nil), s.Buckets...) // Each's scratch
 		}
 		out = append(out, s)
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestHealthz(t *testing.T) {
+	ts, m := newTestServer(t, 3, 17)
+
+	j, err := m.Submit(testFieldSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, m, j.ID, 60*time.Second, func(x Job) bool { return x.State.Terminal() })
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/healthz = %s", resp.Status)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q, want ok", h.Status)
+	}
+	if h.UptimeMS < 0 {
+		t.Fatalf("uptime_ms = %d, want >= 0", h.UptimeMS)
+	}
+	if h.Workers != 3 || h.QueueLimit != 17 {
+		t.Fatalf("workers/queue_limit = %d/%d, want 3/17", h.Workers, h.QueueLimit)
+	}
+	if h.QueueDepth != 0 || h.Running != 0 {
+		t.Fatalf("idle daemon reports depth %d, running %d", h.QueueDepth, h.Running)
+	}
+	if h.Jobs["done"] != 1 {
+		t.Fatalf("jobs = %v, want one done", h.Jobs)
+	}
+	if h.SpoolDir == "" {
+		t.Fatal("health has no spool_dir")
+	}
+	if h.DeadLetters != 0 {
+		t.Fatalf("dead_letters = %d, want 0", h.DeadLetters)
+	}
+}

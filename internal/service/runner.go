@@ -16,6 +16,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/field"
 	"repro/internal/obs"
+	"repro/internal/sse"
 )
 
 // ErrQueueFull is returned by Submit when the scheduler has no free
@@ -83,6 +84,7 @@ type Manager struct {
 	log      *log.Logger
 
 	running atomic.Int64
+	created time.Time
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -93,7 +95,7 @@ type Manager struct {
 	started  bool
 	poolSize int
 	cancels  map[string]context.CancelFunc
-	feeds    map[string]*feed
+	feeds    map[string]*sse.Feed
 
 	// requeue holds the IDs recovery found interrupted, pushed into the
 	// scheduler (oldest first, so FIFO order within a class survives the
@@ -131,9 +133,10 @@ func New(cfg Config) (*Manager, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		cancels:    make(map[string]context.CancelFunc),
-		feeds:      make(map[string]*feed),
+		feeds:      make(map[string]*sse.Feed),
 		requeue:    requeue,
 		poolSize:   cfg.workers(),
+		created:    time.Now().UTC(),
 	}
 	for _, j := range jobs {
 		m.store.put(j)
@@ -252,7 +255,7 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 		m.obs.Add(MetricJobsSubmitted, 1)
 	}
 	m.gaugeQueueDepth()
-	m.feed(snap.ID).publish("state", stateEvent(&snap))
+	m.feed(snap.ID).Publish("state", stateEvent(&snap))
 	m.log.Printf("job %s: queued (%s, class %s)", snap.ID, spec.Type, snap.Class)
 	return snap, nil
 }
@@ -381,8 +384,8 @@ func (m *Manager) Retry(id string) (Job, error) {
 		return Job{}, ErrStopped
 	}
 	m.gaugeQueueDepth()
-	m.feed(id).reopen()
-	m.feed(id).publish("state", stateEvent(&j))
+	m.feed(id).Reopen()
+	m.feed(id).Publish("state", stateEvent(&j))
 	m.log.Printf("job %s: resurrected from dead-letter", id)
 	return j, nil
 }
@@ -390,15 +393,15 @@ func (m *Manager) Retry(id string) (Job, error) {
 // Events returns the job's SSE feed. For a job already terminal (e.g.
 // finished before this process started), the feed is primed with the
 // terminal state and closed so subscribers get one event and EOF.
-func (m *Manager) Events(id string) (*feed, error) {
+func (m *Manager) Events(id string) (*sse.Feed, error) {
 	j, ok := m.store.get(id)
 	if !ok {
 		return nil, ErrNotFound
 	}
 	f := m.feed(id)
 	if j.State.Terminal() {
-		f.publish("state", stateEvent(&j)) // dropped if already closed
-		f.close()
+		f.Publish("state", stateEvent(&j)) // dropped if already closed
+		f.Close()
 	}
 	return f, nil
 }
@@ -429,12 +432,12 @@ func (m *Manager) Stop(ctx context.Context) error {
 }
 
 // feed returns (creating if needed) the job's event feed.
-func (m *Manager) feed(id string) *feed {
+func (m *Manager) feed(id string) *sse.Feed {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	f := m.feeds[id]
 	if f == nil {
-		f = newFeed()
+		f = sse.NewFeed()
 		m.feeds[id] = f
 	}
 	return f
@@ -443,8 +446,8 @@ func (m *Manager) feed(id string) *feed {
 // finishFeed publishes the job's terminal state and closes the feed.
 func (m *Manager) finishFeed(id string, j *Job) {
 	f := m.feed(id)
-	f.publish("state", stateEvent(j))
-	f.close()
+	f.Publish("state", stateEvent(j))
+	f.Close()
 }
 
 // stateEvent is the payload of "state" SSE events.
@@ -548,7 +551,7 @@ func (m *Manager) runJob(id string) {
 		m.handleFailure(id, fmt.Errorf("persist manifest: %w", err))
 		return
 	}
-	m.feed(id).publish("state", stateEvent(&j))
+	m.feed(id).Publish("state", stateEvent(&j))
 	m.log.Printf("job %s: running (attempt %d)", id, j.Attempts)
 	start := time.Now()
 
@@ -627,7 +630,7 @@ func (m *Manager) park(id string, wait time.Duration, retryState string) {
 		return
 	}
 	m.gaugeQueueDepth()
-	m.feed(id).publish("state", stateEvent(&j))
+	m.feed(id).Publish("state", stateEvent(&j))
 	m.log.Printf("job %s: %s until %s", id, retryState, nr.Format(time.RFC3339))
 }
 
@@ -682,7 +685,7 @@ func (m *Manager) handleFailure(id string, runErr error) {
 			m.obs.Add(MetricRetries, 1)
 		}
 		m.gaugeQueueDepth()
-		m.feed(id).publish("state", stateEvent(&j))
+		m.feed(id).Publish("state", stateEvent(&j))
 		m.log.Printf("job %s: attempt %d failed (%v), retry %d/%d in %s",
 			id, j.Attempts, runErr, failures, pol.maxAttempts, delay.Round(time.Millisecond))
 		return
@@ -827,7 +830,7 @@ func (m *Manager) recur(id string, every time.Duration) {
 		return
 	}
 	m.gaugeQueueDepth()
-	m.feed(id).publish("state", stateEvent(&j))
+	m.feed(id).Publish("state", stateEvent(&j))
 	m.log.Printf("job %s: run %d done, next at %s", id, j.Runs, nr.Format(time.RFC3339))
 }
 
@@ -844,7 +847,7 @@ func (m *Manager) runField(ctx context.Context, id string, j *Job) ([]byte, erro
 	}
 	fd := m.feed(id)
 	cfg.OnEpoch = func(rep *field.EpochReport) {
-		fd.publish("epoch", rep)
+		fd.Publish("epoch", rep)
 	}
 
 	snapPath := m.spool.SnapshotPath(id)
@@ -951,7 +954,7 @@ func (m *Manager) runDist(ctx context.Context, id string, j *Job) ([]byte, error
 			if m.obs != nil {
 				m.obs.Add(MetricCheckpoints, 1)
 			}
-			fd.publish("epoch", rep)
+			fd.Publish("epoch", rep)
 			return nil
 		},
 	})

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sse"
 )
 
 // maxSpecBytes bounds a POST /v1/jobs body; a job spec is a page of
@@ -28,8 +29,10 @@ const maxSpecBytes = 1 << 20
 //	DELETE /v1/jobs/{id}        alias for cancel
 //	POST   /v1/jobs/{id}/retry  resurrect a dead-lettered job (409 if not dead)
 //	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/healthz          structured health snapshot (uptime, queue,
+//	                            pool occupancy, job table, spool state)
 //	GET    /metrics             Prometheus text exposition
-//	GET    /healthz             liveness probe
+//	GET    /healthz             plain-text liveness probe
 type Server struct {
 	m   *Manager
 	mux *http.ServeMux
@@ -51,6 +54,7 @@ func NewServer(m *Manager, reg *obs.Registry, lg *log.Logger) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/retry", s.handleRetry)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -249,5 +253,5 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
 		return
 	}
-	serveSSE(w, r, f)
+	sse.Serve(w, r, f)
 }

@@ -1,4 +1,10 @@
-package service
+// Package sse is the repo's shared server-sent-events kernel: an
+// in-memory, ID-sequenced event feed plus the HTTP streaming loop that
+// replays it. It was extracted from the job service so the alerting
+// subsystem's /v1/alerts/events stream speaks the exact same contract as
+// the per-job progress streams — id-sequenced events, bounded replay,
+// Last-Event-ID resume — instead of a parallel reimplementation.
+package sse
 
 import (
 	"encoding/json"
@@ -8,14 +14,15 @@ import (
 	"sync"
 )
 
-// feed is one job's ordered event log plus a change-notification
-// primitive. Publishers append; any number of SSE subscribers replay from
-// an index and then wait for more. The log is in-memory and per-process:
-// after a daemon restart a subscriber sees the events of the current
-// attempt only (the durable record is the spool, not the feed).
-type feed struct {
+// Feed is one ordered event log plus a change-notification primitive.
+// Publishers append; any number of HTTP subscribers replay from an index
+// and then wait for more. The log is in-memory and per-process: after a
+// daemon restart a subscriber sees the events of the current process
+// only (the durable record is whatever the publisher spools, not the
+// feed).
+type Feed struct {
 	mu     sync.Mutex
-	events []sseEvent
+	events []Event
 	closed bool
 	// changed is closed and replaced whenever an event lands or the feed
 	// closes, waking every waiter; waiters grab the current channel
@@ -23,8 +30,8 @@ type feed struct {
 	changed chan struct{}
 }
 
-// sseEvent is one rendered server-sent event.
-type sseEvent struct {
+// Event is one rendered server-sent event.
+type Event struct {
 	ID   int    // 1-based sequence number
 	Name string // SSE event: field
 	Data []byte // JSON payload, single line
@@ -32,21 +39,22 @@ type sseEvent struct {
 
 // maxFeedEvents bounds a feed's replay log. Long runs drop their oldest
 // events once past the cap (late subscribers lose deep history, live
-// subscribers are unaffected); Trim keeps IDs stable so Last-Event-ID
-// style cursors stay meaningful.
+// subscribers are unaffected); the trim keeps IDs stable so
+// Last-Event-ID style cursors stay meaningful.
 const maxFeedEvents = 4096
 
-func newFeed() *feed {
-	return &feed{changed: make(chan struct{})}
+// NewFeed returns an empty, open feed.
+func NewFeed() *Feed {
+	return &Feed{changed: make(chan struct{})}
 }
 
-// publish appends an event with a JSON-marshaled payload.
-func (f *feed) publish(name string, payload any) {
+// Publish appends an event with a JSON-marshaled payload.
+func (f *Feed) Publish(name string, payload any) {
 	data, err := json.Marshal(payload)
 	if err != nil {
-		// Payloads are this package's own structs; a marshal failure is
+		// Payloads are the publishers' own structs; a marshal failure is
 		// a programming error worth surfacing loudly in tests.
-		panic(fmt.Sprintf("service: unmarshalable SSE payload: %v", err))
+		panic(fmt.Sprintf("sse: unmarshalable payload: %v", err))
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -57,16 +65,16 @@ func (f *feed) publish(name string, payload any) {
 	if n := len(f.events); n > 0 {
 		id = f.events[n-1].ID + 1
 	}
-	f.events = append(f.events, sseEvent{ID: id, Name: name, Data: data})
+	f.events = append(f.events, Event{ID: id, Name: name, Data: data})
 	if len(f.events) > maxFeedEvents {
 		f.events = f.events[len(f.events)-maxFeedEvents:]
 	}
 	f.wake()
 }
 
-// close marks the feed complete: subscribers drain what remains and
+// Close marks the feed complete: subscribers drain what remains and
 // return. Further publishes are dropped.
-func (f *feed) close() {
+func (f *Feed) Close() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -76,11 +84,11 @@ func (f *feed) close() {
 	f.wake()
 }
 
-// reopen lets a closed feed accept publishes again — dead-letter
+// Reopen lets a closed feed accept publishes again — dead-letter
 // resurrection restarts a job's lifecycle, so its feed must come back to
 // life with it. The event log and IDs continue; subscribers that already
 // drained to EOF reconnect to see the new run.
-func (f *feed) reopen() {
+func (f *Feed) Reopen() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if !f.closed {
@@ -91,17 +99,17 @@ func (f *feed) reopen() {
 }
 
 // wake must run under f.mu.
-func (f *feed) wake() {
+func (f *Feed) wake() {
 	close(f.changed)
 	f.changed = make(chan struct{})
 }
 
-// since returns the events with ID > after, whether the feed is closed,
+// Since returns the events with ID > after, whether the feed is closed,
 // and the channel that will signal the next change.
-func (f *feed) since(after int) ([]sseEvent, bool, <-chan struct{}) {
+func (f *Feed) Since(after int) ([]Event, bool, <-chan struct{}) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	var out []sseEvent
+	var out []Event
 	for _, e := range f.events {
 		if e.ID > after {
 			out = append(out, e)
@@ -110,7 +118,7 @@ func (f *feed) since(after int) ([]sseEvent, bool, <-chan struct{}) {
 	return out, f.closed, f.changed
 }
 
-// serveSSE streams the feed over w until the feed closes or the client
+// Serve streams the feed over w until the feed closes or the client
 // disconnects. Events render in the standard format:
 //
 //	id: 3
@@ -122,7 +130,7 @@ func (f *feed) since(after int) ([]sseEvent, bool, <-chan struct{}) {
 // sequence number instead of replaying the whole log. An unparsable or
 // stale header falls back to a full replay — IDs survive feed trimming,
 // so a cursor past the trim horizon simply skips what was dropped.
-func serveSSE(w http.ResponseWriter, r *http.Request, f *feed) {
+func Serve(w http.ResponseWriter, r *http.Request, f *Feed) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -142,7 +150,7 @@ func serveSSE(w http.ResponseWriter, r *http.Request, f *feed) {
 		}
 	}
 	for {
-		events, closed, changed := f.since(cursor)
+		events, closed, changed := f.Since(cursor)
 		for _, e := range events {
 			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Name, e.Data); err != nil {
 				return

@@ -1,0 +1,127 @@
+package sse
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFeedSequenceAndSince(t *testing.T) {
+	f := NewFeed()
+	for i := 1; i <= 5; i++ {
+		f.Publish("tick", map[string]int{"n": i})
+	}
+	events, closed, _ := f.Since(0)
+	if closed {
+		t.Fatal("feed reported closed")
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5", len(events))
+	}
+	for i, e := range events {
+		if e.ID != i+1 {
+			t.Fatalf("event %d has ID %d, want %d", i, e.ID, i+1)
+		}
+	}
+	tail, _, _ := f.Since(3)
+	if len(tail) != 2 || tail[0].ID != 4 {
+		t.Fatalf("Since(3) = %+v, want IDs 4,5", tail)
+	}
+}
+
+func TestFeedTrimKeepsIDsStable(t *testing.T) {
+	f := NewFeed()
+	for i := 0; i < maxFeedEvents+10; i++ {
+		f.Publish("tick", i)
+	}
+	events, _, _ := f.Since(0)
+	if len(events) != maxFeedEvents {
+		t.Fatalf("retained %d events, want %d", len(events), maxFeedEvents)
+	}
+	if got, want := events[0].ID, 11; got != want {
+		t.Fatalf("oldest retained ID %d, want %d (IDs must survive the trim)", got, want)
+	}
+	// A cursor pointing into the evicted range just skips what was
+	// dropped instead of erroring or replaying from zero.
+	tail, _, _ := f.Since(5)
+	if len(tail) != maxFeedEvents {
+		t.Fatalf("stale cursor got %d events, want %d", len(tail), maxFeedEvents)
+	}
+}
+
+func TestFeedCloseReopen(t *testing.T) {
+	f := NewFeed()
+	f.Publish("a", 1)
+	f.Close()
+	f.Publish("dropped", 2) // dropped while closed
+	if events, closed, _ := f.Since(0); !closed || len(events) != 1 {
+		t.Fatalf("after close: events=%d closed=%v, want 1/true", len(events), closed)
+	}
+	f.Reopen()
+	f.Publish("b", 3)
+	events, closed, _ := f.Since(0)
+	if closed || len(events) != 2 {
+		t.Fatalf("after reopen: events=%d closed=%v, want 2/false", len(events), closed)
+	}
+	if events[1].ID != 2 {
+		t.Fatalf("post-reopen ID %d, want 2 (IDs continue)", events[1].ID)
+	}
+}
+
+// serveToString runs Serve against a closed feed and returns the body.
+func serveToString(t *testing.T, f *Feed, lastEventID string) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		Serve(w, r, f)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Fprintln(&b, sc.Text())
+	}
+	return b.String()
+}
+
+func TestServeLastEventIDResume(t *testing.T) {
+	f := NewFeed()
+	for i := 1; i <= 4; i++ {
+		f.Publish("tick", i)
+	}
+	f.Close()
+
+	full := serveToString(t, f, "")
+	for i := 1; i <= 4; i++ {
+		if !strings.Contains(full, fmt.Sprintf("id: %d", i)) {
+			t.Fatalf("full replay missing id %d:\n%s", i, full)
+		}
+	}
+	resumed := serveToString(t, f, "2")
+	if strings.Contains(resumed, "id: 1\n") || strings.Contains(resumed, "id: 2\n") {
+		t.Fatalf("resume from 2 replayed old events:\n%s", resumed)
+	}
+	if !strings.Contains(resumed, "id: 3") || !strings.Contains(resumed, "id: 4") {
+		t.Fatalf("resume from 2 missing later events:\n%s", resumed)
+	}
+	// Junk cursors fall back to a full replay.
+	junk := serveToString(t, f, "not-a-number")
+	if !strings.Contains(junk, "id: 1\n") {
+		t.Fatalf("junk cursor should full-replay:\n%s", junk)
+	}
+}
