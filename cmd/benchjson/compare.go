@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// loadSnapshot reads a snapshot file written by a previous benchjson run.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &s, nil
+}
+
+// bestByName folds repeated runs of each benchmark down to its fastest
+// ns/op — the standard noise-robust statistic; a machine can run slower
+// than its best, never faster. Keyed by package/name so same-named
+// benchmarks in different packages stay distinct.
+func bestByName(results []Result) map[string]Result {
+	best := make(map[string]Result, len(results))
+	for _, r := range results {
+		k := r.Package + "/" + r.Name
+		if prev, ok := best[k]; !ok || r.NsPerOp < prev.NsPerOp {
+			best[k] = r
+		}
+	}
+	return best
+}
+
+// compareSnapshots prints a per-benchmark delta table of new vs old and
+// returns the benchmarks whose best ns/op regressed by more than
+// tolerance (0.20 = +20%). Benchmarks present on only one side are
+// reported but never fail the comparison — baselines predate new
+// benchmarks, and retired ones shouldn't wedge CI.
+func compareSnapshots(old, new *Snapshot, tolerance float64) (regressed []string) {
+	ob, nb := bestByName(old.Results), bestByName(new.Results)
+	keys := make([]string, 0, len(nb))
+	for k := range nb {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, k := range keys {
+		n := nb[k]
+		o, ok := ob[k]
+		if !ok {
+			fmt.Printf("%-60s %14s %14.0f %8s\n", k, "-", n.NsPerOp, "new")
+			continue
+		}
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		mark := ""
+		if delta > tolerance {
+			mark = "  << REGRESSION"
+			regressed = append(regressed, k)
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%%%s\n", k, o.NsPerOp, n.NsPerOp, delta*100, mark)
+	}
+	for k := range ob {
+		if _, ok := nb[k]; !ok {
+			fmt.Printf("%-60s %14.0f %14s %8s\n", k, ob[k].NsPerOp, "-", "gone")
+		}
+	}
+	return regressed
+}

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func snap(results ...Result) *Snapshot {
+	return &Snapshot{Results: results}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	old := snap(
+		Result{Package: "p", Name: "BenchmarkA", NsPerOp: 100},
+		Result{Package: "p", Name: "BenchmarkA", NsPerOp: 90}, // best of 2 runs
+		Result{Package: "p", Name: "BenchmarkB", NsPerOp: 1000},
+		Result{Package: "p", Name: "BenchmarkGone", NsPerOp: 5},
+	)
+	// A within tolerance (+10% of best), B regressed (+50%), C is new.
+	fresh := snap(
+		Result{Package: "p", Name: "BenchmarkA", NsPerOp: 99},
+		Result{Package: "p", Name: "BenchmarkB", NsPerOp: 1500},
+		Result{Package: "p", Name: "BenchmarkC", NsPerOp: 42},
+	)
+	regressed := compareSnapshots(old, fresh, 0.20)
+	if len(regressed) != 1 || regressed[0] != "p/BenchmarkB" {
+		t.Fatalf("regressed = %v, want [p/BenchmarkB]", regressed)
+	}
+	// A looser tolerance lets B through.
+	if r := compareSnapshots(old, fresh, 0.60); len(r) != 0 {
+		t.Fatalf("tolerance 60%% still flagged %v", r)
+	}
+	// An improvement is never a regression.
+	faster := snap(Result{Package: "p", Name: "BenchmarkB", NsPerOp: 500})
+	if r := compareSnapshots(old, faster, 0.20); len(r) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", r)
+	}
+}
+
+func TestBestByNameKeysByPackage(t *testing.T) {
+	best := bestByName([]Result{
+		{Package: "p1", Name: "BenchmarkX", NsPerOp: 10},
+		{Package: "p2", Name: "BenchmarkX", NsPerOp: 20},
+	})
+	if len(best) != 2 {
+		t.Fatalf("same-named benchmarks across packages collapsed: %v", best)
+	}
+}

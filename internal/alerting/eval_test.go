@@ -230,3 +230,51 @@ func TestRuleValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestDefaultShardLatencySkewRule drives the shipped dist-shard-latency-skew
+// rule through a straggler incident: skew climbs past 3, must dwell the
+// full 60s before firing (placement gets a chance to migrate the load
+// first), and resolves once rebalancing pulls the skew back down.
+func TestDefaultShardLatencySkewRule(t *testing.T) {
+	var rule Rule
+	for _, r := range DefaultRules() {
+		if r.Name == "dist-shard-latency-skew" {
+			rule = r
+		}
+	}
+	if rule.Name == "" {
+		t.Fatal("dist-shard-latency-skew missing from DefaultRules")
+	}
+	if rule.Expr.Series != "dist_epoch_seconds_skew" {
+		t.Fatalf("rule watches %q, want dist_epoch_seconds_skew", rule.Expr.Series)
+	}
+	// 1s ticks: balanced (2 ticks), straggler skew 4.0 for 62 ticks —
+	// enough to cross the 60s dwell — then rebalanced.
+	values := make([]float64, 0, 67)
+	values = append(values, 1, 1)
+	for i := 0; i < 62; i++ {
+		values = append(values, 4)
+	}
+	values = append(values, 1.2, 1.2, 1.2)
+	trs := driveGauge(t, rule, values)
+	want := []struct {
+		i     int
+		state string
+	}{
+		{2, StatePending},   // skew trips the threshold
+		{62, StateFiring},   // held 60s (t=2 → t=62)
+		{64, StateResolved}, // rebalanced below 3
+	}
+	if len(trs) != len(want) {
+		t.Fatalf("transitions = %+v, want %d", trs, len(want))
+	}
+	for k, w := range want {
+		if trs[k].i != w.i || trs[k].tr.Alert.State != w.state {
+			t.Fatalf("transition %d: tick %d → %s, want tick %d → %s",
+				k, trs[k].i, trs[k].tr.Alert.State, w.i, w.state)
+		}
+	}
+	if rule.Severity != SeverityWarning {
+		t.Fatalf("severity %q, want warning (a straggler is a perf problem, not an outage)", rule.Severity)
+	}
+}

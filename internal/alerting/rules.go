@@ -207,5 +207,17 @@ func DefaultRules() []Rule {
 			Severity: SeverityCritical,
 			Labels:   map[string]string{"subsystem": "dist"},
 		},
+		{
+			// Epoch-latency skew (slowest worker / mean) holding above 3
+			// means one straggler is pacing every barrier; the coordinator's
+			// latency-weighted placement should be migrating clusters away,
+			// so a sustained skew is placement failing to converge (e.g. one
+			// worker both slow and sticky with adopted state).
+			Name:     "dist-shard-latency-skew",
+			Expr:     Expr{Series: "dist_epoch_seconds_skew", Kind: ExprThreshold, Op: OpGT, Value: 3},
+			ForMS:    60_000,
+			Severity: SeverityWarning,
+			Labels:   map[string]string{"subsystem": "dist"},
+		},
 	}
 }

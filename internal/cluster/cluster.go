@@ -168,6 +168,9 @@ type Runner struct {
 	// Obs costs one branch per cycle.
 	Obs      obs.Observer
 	cycleIdx int
+	// scr, when non-nil, donates the polling-phase buffers; it is bypassed
+	// while Trace is set, because traces retain schedules and requests.
+	scr *RunnerScratch
 }
 
 // NewRunner plans routing (and sectors when enabled) for the cluster and
@@ -183,6 +186,14 @@ func NewRunner(c *topo.Cluster, p Params) (*Runner, error) {
 // about the runner's behavior — cached and freshly solved runners are
 // byte-identical. A nil cache plans from scratch every time.
 func NewRunnerCached(c *topo.Cluster, p Params, cache *routing.PlanCache) (*Runner, error) {
+	return NewRunnerScratch(c, p, cache, nil)
+}
+
+// NewRunnerScratch is NewRunnerCached with an optional per-cluster
+// RunnerScratch donating reusable buffers. The runner behaves identically
+// to a scratch-free build; it is valid until the next runner is built
+// with the same scratch.
+func NewRunnerScratch(c *topo.Cluster, p Params, cache *routing.PlanCache, scr *RunnerScratch) (*Runner, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -192,8 +203,20 @@ func NewRunnerCached(c *topo.Cluster, p Params, cache *routing.PlanCache) (*Runn
 	if p.PoissonTraffic {
 		gen = workload.NewPoisson(n, p.RateBps, p.DataBytes, p.Seed^0x50a550a5)
 	}
-	demand := make([]int, n+1)
+	var demand []int
 	var unreachable []int
+	if scr != nil {
+		if cap(scr.demand) >= n+1 {
+			scr.demand = scr.demand[:n+1]
+			clear(scr.demand)
+		} else {
+			scr.demand = make([]int, n+1)
+		}
+		demand = scr.demand
+		unreachable = scr.unreachable[:0]
+	} else {
+		demand = make([]int, n+1)
+	}
 	for v := 1; v <= n; v++ {
 		if c.Level[v] > 0 {
 			demand[v] = cbr.PlanningDemand(p.Cycle)
@@ -203,23 +226,41 @@ func NewRunnerCached(c *topo.Cluster, p Params, cache *routing.PlanCache) (*Runn
 			unreachable = append(unreachable, v)
 		}
 	}
+	if scr != nil {
+		scr.unreachable = unreachable
+	}
 	plan := cache.Lookup(c.ConnectivityRev(), demand, p.Search)
 	if plan == nil {
+		var ws *routing.Workspace
+		if scr != nil {
+			ws = &scr.ws
+		}
 		var err error
-		plan, err = routing.BalancedPaths(c.G, topo.Head, demand, p.Search)
+		plan, err = routing.BalancedPathsWS(ws, c.G, topo.Head, demand, p.Search)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: routing failed: %w", err)
 		}
 		cache.Store(c.ConnectivityRev(), demand, p.Search, plan)
 	}
+	var oracle *radio.TestedOracle
+	if scr != nil && scr.oracle != nil {
+		scr.oracle.Reset(radio.SINROracle{M: c.Med}, p.M)
+		oracle = scr.oracle
+	} else {
+		oracle = radio.NewTestedOracle(radio.SINROracle{M: c.Med}, p.M)
+		if scr != nil {
+			scr.oracle = oracle
+		}
+	}
 	r := &Runner{
 		C:           c,
 		P:           p,
 		Plan:        plan,
-		Oracle:      radio.NewTestedOracle(radio.SINROracle{M: c.Med}, p.M),
+		Oracle:      oracle,
 		gen:         gen,
 		demand:      demand,
 		Unreachable: unreachable,
+		scr:         scr,
 	}
 	if p.UseSectors {
 		part, err := sector.BuildPartition(c.G, topo.Head, plan.CycleRoutes(0), demand,
@@ -237,13 +278,24 @@ func NewRunnerCached(c *topo.Cluster, p Params, cache *routing.PlanCache) (*Runn
 			r.groupRoutes = append(r.groupRoutes, routes)
 		}
 	} else {
-		all := make([]int, 0, n)
+		var all []int
+		if scr != nil {
+			all = scr.all[:0]
+		} else {
+			all = make([]int, 0, n)
+		}
 		for v := 1; v <= n; v++ {
 			if c.Level[v] > 0 {
 				all = append(all, v)
 			}
 		}
-		r.groups = [][]int{all}
+		if scr != nil {
+			scr.all = all
+			scr.groups = append(scr.groups[:0], all)
+			r.groups = scr.groups
+		} else {
+			r.groups = [][]int{all}
+		}
 		r.groupRoutes = nil // resolved per cycle from the rotation
 	}
 	return r, nil
@@ -378,14 +430,22 @@ func (r *Runner) RunCycle() (*CycleResult, error) {
 func (r *Runner) runGroup(group []int, routes map[int][]int, packets []int,
 	loss core.LossFn, res *CycleResult) (time.Duration, error) {
 	p := r.P
+	scr := r.scr
+	if r.Trace != nil {
+		scr = nil // traced runs retain schedules and requests
+	}
+	var ackScratch, dataScratch *core.GreedyScratch
+	if scr != nil {
+		ackScratch, dataScratch = &scr.ack, &scr.data
+	}
 
 	// --- acknowledgment collection (Section V-F) ---
-	ackReqs, err := r.ackRequests(group, routes)
+	ackReqs, err := r.ackRequests(scr, group, routes)
 	if err != nil {
 		return 0, err
 	}
 	ackSched, ackStats, err := core.Greedy(ackReqs, core.Options{
-		Oracle: r.Oracle, Loss: loss, AllowDelay: p.AllowDelay,
+		Oracle: r.Oracle, Loss: loss, AllowDelay: p.AllowDelay, Scratch: ackScratch,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("cluster: ack polling failed: %w", err)
@@ -393,6 +453,9 @@ func (r *Runner) runGroup(group []int, routes map[int][]int, packets []int,
 
 	// --- data polling ---
 	var dataReqs []core.Request
+	if scr != nil {
+		dataReqs = scr.dataReqs[:0]
+	}
 	id := 0
 	for _, v := range group {
 		route, ok := routes[v]
@@ -404,8 +467,11 @@ func (r *Runner) runGroup(group []int, routes map[int][]int, packets []int,
 			dataReqs = append(dataReqs, core.Request{ID: id, Route: route})
 		}
 	}
+	if scr != nil {
+		scr.dataReqs = dataReqs
+	}
 	dataSched, dataStats, err := core.Greedy(dataReqs, core.Options{
-		Oracle: r.Oracle, Loss: loss, AllowDelay: p.AllowDelay,
+		Oracle: r.Oracle, Loss: loss, AllowDelay: p.AllowDelay, Scratch: dataScratch,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("cluster: data polling failed: %w", err)
@@ -491,35 +557,65 @@ func (r *Runner) runGroup(group []int, routes map[int][]int, packets []int,
 // ackRequests builds the acknowledgment polling requests for a group: a
 // minimum-cost set of relaying paths covering every group sensor (greedy
 // weighted set cover, costs = hop counts), one ack packet per chosen path
-// starting at the path's first sensor.
-func (r *Runner) ackRequests(group []int, routes map[int][]int) ([]core.Request, error) {
-	indexOf := make(map[int]int, len(group))
+// starting at the path's first sensor. A non-nil scratch donates the
+// cover's input and output buffers.
+func (r *Runner) ackRequests(scr *RunnerScratch, group []int, routes map[int][]int) ([]core.Request, error) {
+	var indexOf map[int]int
+	var subsets []graph.Subset
+	var paths [][]int
+	if scr != nil {
+		if scr.indexOf == nil {
+			scr.indexOf = make(map[int]int, len(group))
+		} else {
+			clear(scr.indexOf)
+		}
+		indexOf = scr.indexOf
+		subsets = scr.subsets[:0]
+		paths = scr.paths[:0]
+	} else {
+		indexOf = make(map[int]int, len(group))
+		subsets = make([]graph.Subset, 0, len(group))
+		paths = make([][]int, 0, len(group))
+	}
 	for i, v := range group {
 		indexOf[v] = i
 	}
-	subsets := make([]graph.Subset, 0, len(group))
-	paths := make([][]int, 0, len(group))
 	for _, v := range group {
 		route := routes[v]
 		if route == nil {
+			if scr != nil {
+				scr.subsets, scr.paths = subsets, paths
+			}
 			return nil, fmt.Errorf("cluster: sensor %d has no candidate ack path", v)
 		}
 		var elems []int
+		subsets, elems = appendSubset(subsets)
 		for _, x := range route[:len(route)-1] {
 			if i, ok := indexOf[x]; ok {
 				elems = append(elems, i)
 			}
 		}
-		subsets = append(subsets, graph.Subset{Elements: elems, Cost: float64(len(route) - 1)})
+		subsets[len(subsets)-1] = graph.Subset{Elements: elems, Cost: float64(len(route) - 1)}
 		paths = append(paths, route)
+	}
+	if scr != nil {
+		scr.subsets, scr.paths = subsets, paths
 	}
 	chosen, _, err := graph.GreedySetCover(len(group), subsets)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: ack cover failed: %w", err)
 	}
-	reqs := make([]core.Request, 0, len(chosen))
+	var reqs []core.Request
+	if scr != nil {
+		reqs = scr.ackReqs[:0]
+	} else {
+		reqs = make([]core.Request, 0, len(chosen))
+	}
 	for i, c := range chosen {
 		reqs = append(reqs, core.Request{ID: i + 1, Route: paths[c]})
+	}
+	if scr != nil {
+		scr.ackReqs = reqs
 	}
 	return reqs, nil
 }

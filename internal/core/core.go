@@ -39,20 +39,23 @@ func (r Request) Tx(k int) radio.Transmission {
 	return radio.Transmission{From: r.Route[k], To: r.Route[k+1]}
 }
 
-// Validate checks structural validity of the request.
+// Validate checks structural validity of the request. Routes are hop
+// paths inside one cluster — a handful of nodes — so the duplicate check
+// scans the prefix instead of building a set; Validate runs once per
+// request per polling run and must not allocate.
 func (r Request) Validate() error {
 	if len(r.Route) < 2 {
 		return fmt.Errorf("core: request %d has short route %v", r.ID, r.Route)
 	}
-	seen := make(map[int]bool, len(r.Route))
-	for _, v := range r.Route {
+	for i, v := range r.Route {
 		if v < 0 {
 			return fmt.Errorf("core: request %d routes through negative node", r.ID)
 		}
-		if seen[v] {
-			return fmt.Errorf("core: request %d has a routing loop: %v", r.ID, r.Route)
+		for _, w := range r.Route[:i] {
+			if w == v {
+				return fmt.Errorf("core: request %d has a routing loop: %v", r.ID, r.Route)
+			}
 		}
-		seen[v] = true
 	}
 	return nil
 }
@@ -129,6 +132,13 @@ type Options struct {
 	// request slice). Nil means natural order. The paper's algorithm
 	// scans "according to an arbitrarily predetermined order".
 	Order []int
+	// Scratch, when non-nil, donates reusable buffers to the run and
+	// receives them back: the returned Schedule and Stats then point into
+	// the scratch and are valid only until the next Greedy call with the
+	// same scratch. Behavior is otherwise identical. Only the pipelined
+	// (default) path uses it; the delay-allowed ablation always allocates
+	// fresh.
+	Scratch *GreedyScratch
 }
 
 func (o *Options) maxConcurrent() int {

@@ -23,9 +23,16 @@ func Greedy(reqs []Request, opt Options) (*Schedule, *Stats, error) {
 	if opt.Oracle == nil {
 		return nil, nil, fmt.Errorf("core: Options.Oracle is required")
 	}
-	order, err := scanOrder(reqs, opt.Order)
+	var orderBuf []int
+	if opt.Scratch != nil {
+		orderBuf = opt.Scratch.order
+	}
+	order, err := scanOrder(reqs, opt.Order, orderBuf)
 	if err != nil {
 		return nil, nil, err
+	}
+	if opt.Scratch != nil {
+		opt.Scratch.order = order
 	}
 	totalHops := 0
 	for _, r := range reqs {
@@ -44,13 +51,17 @@ func Greedy(reqs []Request, opt Options) (*Schedule, *Stats, error) {
 	return greedyPipelined(reqs, order, opt, maxSlots, totalHops)
 }
 
-func scanOrder(reqs []Request, order []int) ([]int, error) {
+func scanOrder(reqs []Request, order []int, buf []int) ([]int, error) {
 	if order == nil {
-		order = make([]int, len(reqs))
-		for i := range order {
-			order[i] = i
+		if cap(buf) >= len(reqs) {
+			buf = buf[:len(reqs)]
+		} else {
+			buf = make([]int, len(reqs))
 		}
-		return order, nil
+		for i := range buf {
+			buf[i] = i
+		}
+		return buf, nil
 	}
 	if len(order) != len(reqs) {
 		return nil, fmt.Errorf("core: order has %d entries for %d requests", len(order), len(reqs))
@@ -62,7 +73,7 @@ func scanOrder(reqs []Request, order []int) ([]int, error) {
 		}
 		seen[i] = true
 	}
-	return append([]int(nil), order...), nil
+	return append(buf[:0], order...), nil
 }
 
 // flight tracks one admitted (in-flight) request.
@@ -74,16 +85,29 @@ type flight struct {
 
 func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots, totalHops int) (*Schedule, *Stats, error) {
 	m := opt.maxConcurrent()
-	sched := &Schedule{
-		// A lossless schedule never needs more than one slot per hop; the
-		// preallocation avoids growing the slot list one entry at a time.
-		Slots:     make([][]radio.Transmission, 0, totalHops),
-		Start:     make(map[int]int, len(reqs)),
-		Completed: make(map[int]int, len(reqs)),
+	gs := opt.Scratch
+	var sched *Schedule
+	var st *Stats
+	if gs != nil {
+		sched, st = gs.reset(len(reqs))
+	} else {
+		sched = &Schedule{
+			// A lossless schedule never needs more than one slot per hop;
+			// the preallocation avoids growing the slot list one entry at
+			// a time.
+			Slots:     make([][]radio.Transmission, 0, totalHops),
+			Start:     make(map[int]int, len(reqs)),
+			Completed: make(map[int]int, len(reqs)),
+		}
+		st = newStats()
 	}
-	st := newStats()
 
-	active := make([]bool, len(reqs))
+	var active []bool
+	if gs != nil {
+		active = gs.bools(len(reqs))
+	} else {
+		active = make([]bool, len(reqs))
+	}
 	remaining := len(reqs)
 	maxHops := 0
 	for i, r := range reqs {
@@ -96,11 +120,21 @@ func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots, totalHo
 	// fixed ring indexed by slot replaces a map[int][]flight; buckets are
 	// reused across laps, making the steady state allocation-free.
 	ringSize := maxHops + 1
-	arrivals := make([][]flight, ringSize)
-	scratch := make([]radio.Transmission, 0, 16)
+	var arrivals [][]flight
+	var scratch []radio.Transmission
+	if gs != nil {
+		arrivals = gs.ring(ringSize)
+		scratch = gs.group[:0]
+	} else {
+		arrivals = make([][]flight, ringSize)
+		scratch = make([]radio.Transmission, 0, 16)
+	}
 
 	for slot := 0; remaining > 0; slot++ {
 		if slot >= maxSlots {
+			if gs != nil {
+				gs.group = scratch
+			}
 			return sched, st, fmt.Errorf("core: polling exceeded %d slots with %d packets outstanding", maxSlots, remaining)
 		}
 		// Admission scan (the inner while-loop of Table 1): add active
@@ -113,11 +147,18 @@ func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots, totalHo
 			if !fits(sched, r, slot, m, opt.Oracle, &scratch) {
 				continue
 			}
-			// Commit every hop to its slot.
+			// Commit every hop to its slot. Growing within capacity keeps
+			// the previous run's slot buckets (truncated) instead of
+			// overwriting their headers with nil — the scratch reuse.
 			for k := 0; k < r.Hops(); k++ {
 				s := slot + k
 				for len(sched.Slots) <= s {
-					sched.Slots = append(sched.Slots, nil)
+					if n := len(sched.Slots); n < cap(sched.Slots) {
+						sched.Slots = sched.Slots[:n+1]
+						sched.Slots[n] = sched.Slots[n][:0]
+					} else {
+						sched.Slots = append(sched.Slots, nil)
+					}
 				}
 				sched.Slots[s] = append(sched.Slots[s], r.Tx(k))
 			}
@@ -160,6 +201,9 @@ func greedyPipelined(reqs []Request, order []int, opt Options, maxSlots, totalHo
 		arrivals[slot%ringSize] = bucket[:0]
 	}
 	st.Slots = len(sched.Slots)
+	if gs != nil {
+		gs.group = scratch
+	}
 	return sched, st, nil
 }
 

@@ -56,6 +56,14 @@ type Config struct {
 	// service retries with.
 	RetryAttempts int
 	Retry         backoff.Policy
+	// ImbalanceRatio is the placement hysteresis threshold: when the
+	// planned max/mean predicted shard load (cluster count × the worker's
+	// EWMA seconds-per-cluster) exceeds it, sticky placement is abandoned
+	// and the epoch's clusters are re-placed by latency-weighted
+	// rendezvous — a migration, which re-ships state via adoption, so the
+	// bar must be high enough that the move pays for itself. Default 2;
+	// values <= 1 disable latency migration.
+	ImbalanceRatio float64
 
 	// Obs, when non-nil, receives the dist_* series.
 	Obs obs.Observer
@@ -80,7 +88,17 @@ type Coordinator struct {
 	// payload. Adopting a state a worker already has is a no-op, so
 	// over-shipping is safe, never wrong.
 	placed map[int]string
+	// ewma[w] is worker w's exponentially weighted moving average of
+	// wall-clock seconds per cluster for a shard call — the observed-cost
+	// input to latency-weighted placement. First observation seeds the
+	// average directly.
+	ewma map[string]float64
 }
+
+// ewmaAlpha is the smoothing factor for per-worker epoch seconds: heavy
+// enough that a persistent slowdown shows within a few epochs, light
+// enough that one noisy barrier does not trigger a migration.
+const ewmaAlpha = 0.3
 
 // New builds a coordinator: the runtime comes up fresh from the spec or
 // resumed from the snapshot.
@@ -109,6 +127,9 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Retry == (backoff.Policy{}) {
 		cfg.Retry = defaultRetry
 	}
+	if cfg.ImbalanceRatio == 0 {
+		cfg.ImbalanceRatio = 2
+	}
 	f, fcfg, err := cfg.Build(cfg.Spec)
 	if err != nil {
 		return nil, fmt.Errorf("dist: build spec: %w", err)
@@ -133,8 +154,57 @@ func New(cfg Config) (*Coordinator, error) {
 		live:   make(map[string]bool, len(cfg.Workers)),
 		lastOK: make(map[string]time.Time, len(cfg.Workers)),
 		placed: make(map[int]string),
+		ewma:   make(map[string]float64, len(cfg.Workers)),
 	}
 	return co, nil
+}
+
+// Placement returns a copy of the current cluster → worker placement:
+// which worker last reported each cluster. Call between epochs or after
+// Run — not concurrently with it.
+func (co *Coordinator) Placement() map[int]string {
+	out := make(map[int]string, len(co.placed))
+	for k, w := range co.placed {
+		out[k] = w
+	}
+	return out
+}
+
+// noteShardSeconds folds one successful shard call's wall-clock cost
+// into the worker's EWMA and emits the per-worker gauge plus the fleet
+// skew series.
+func (co *Coordinator) noteShardSeconds(w string, secs float64, clusters int) {
+	if clusters < 1 {
+		return
+	}
+	perCluster := secs / float64(clusters)
+	if prev, ok := co.ewma[w]; ok {
+		co.ewma[w] = ewmaAlpha*perCluster + (1-ewmaAlpha)*prev
+	} else {
+		co.ewma[w] = perCluster
+	}
+	if co.cfg.Obs == nil {
+		return
+	}
+	co.cfg.Obs.Set(obs.Series(MetricWorkerEpochSeconds, "worker", w), secs)
+	var min, max float64
+	for _, lw := range co.liveWorkers() {
+		e, ok := co.ewma[lw]
+		if !ok || e <= 0 {
+			continue
+		}
+		if min == 0 || e < min {
+			min = e
+		}
+		if e > max {
+			max = e
+		}
+	}
+	skew := 1.0
+	if min > 0 {
+		skew = max / min
+	}
+	co.cfg.Obs.Set(MetricShardLatencySkew, skew)
 }
 
 // Epoch returns the number of committed epochs.
@@ -345,12 +415,13 @@ func (co *Coordinator) barrier(ctx context.Context, epoch int, clusters []int) (
 			pending = append(pending, k)
 		}
 		sort.Ints(pending)
-		assign := Assign(pending, live)
+		assign := PlanShards(pending, live, co.placed, co.ewma, co.cfg.ImbalanceRatio)
 
 		type shardOut struct {
 			worker string
 			shard  []int
 			resp   *EpochResponse
+			secs   float64
 			err    error
 		}
 		outs := make([]shardOut, 0, len(assign))
@@ -365,16 +436,20 @@ func (co *Coordinator) barrier(ctx context.Context, epoch int, clusters []int) (
 				if co.placed[k] == o.worker {
 					continue
 				}
-				st, err := co.rt.ExportClusterState(k)
+				d, st, err := co.rt.ExportClusterHandoff(k)
 				if err != nil {
 					return nil, err
 				}
-				req.Adopt = append(req.Adopt, st)
+				if d != nil {
+					req.AdoptDeltas = append(req.AdoptDeltas, *d)
+				} else {
+					req.Adopt = append(req.Adopt, *st)
+				}
 				// A cluster moving off a worker it was previously placed
-				// on is a reassignment after loss — whether the death was
-				// seen mid-barrier (retry pass) or by the heartbeat between
-				// epochs (first pass). Initial seeding (placed == "") and
-				// coordinator-resume re-seeding are not reassignments.
+				// on is a reassignment — after a loss (seen mid-barrier on
+				// a retry pass or by the heartbeat between epochs) or by a
+				// latency-induced migration. Initial seeding (placed == "")
+				// and coordinator-resume re-seeding are not reassignments.
 				if co.placed[k] != "" && co.cfg.Obs != nil {
 					co.cfg.Obs.Add(MetricShardReassigns, 1)
 				}
@@ -382,6 +457,7 @@ func (co *Coordinator) barrier(ctx context.Context, epoch int, clusters []int) (
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				start := time.Now()
 				o.err = co.call(ctx, o.worker, func(cctx context.Context) error {
 					resp, err := co.cfg.Transport.RunShard(cctx, o.worker, req)
 					if err != nil {
@@ -390,6 +466,7 @@ func (co *Coordinator) barrier(ctx context.Context, epoch int, clusters []int) (
 					o.resp = resp
 					return nil
 				})
+				o.secs = time.Since(start).Seconds()
 			}()
 		}
 		wg.Wait()
@@ -405,6 +482,7 @@ func (co *Coordinator) barrier(ctx context.Context, epoch int, clusters []int) (
 				co.markDead(o.worker)
 				continue
 			}
+			co.noteShardSeconds(o.worker, o.secs, len(o.shard))
 			for _, r := range o.resp.Results {
 				k := r.Row.Cluster
 				if !missing[k] {

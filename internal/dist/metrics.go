@@ -14,6 +14,15 @@ const (
 	// distributed epoch barrier (assign → run → collect, excluding the
 	// merge and commit).
 	MetricEpochBarrierSeconds = "dist_epoch_barrier_seconds"
+	// MetricWorkerEpochSeconds gauges one worker's wall-clock seconds for
+	// its last shard call, labeled {worker="..."} via obs.Series.
+	MetricWorkerEpochSeconds = "dist_epoch_seconds"
+	// MetricShardLatencySkew gauges the fleet's latency imbalance: the
+	// max/min ratio of per-cluster EWMA epoch seconds across live workers
+	// with observations (1 when balanced or with a single worker). This
+	// is the concrete series the default shard-latency alert rule
+	// watches.
+	MetricShardLatencySkew = "dist_epoch_seconds_skew"
 )
 
 // RegisterMetrics pre-registers the dist series in reg with help text.
@@ -21,6 +30,8 @@ const (
 // self-describing.
 func RegisterMetrics(reg *obs.Registry) {
 	reg.Gauge(MetricWorkersLive, "workers the coordinator considers live")
-	reg.Counter(MetricShardReassigns, "cluster shards reassigned after worker loss")
+	reg.Counter(MetricShardReassigns, "cluster shards reassigned after worker loss or latency migration")
 	reg.Histogram(MetricEpochBarrierSeconds, "wall-clock seconds per distributed epoch barrier", nil)
+	reg.Gauge(MetricWorkerEpochSeconds, "per-worker wall-clock seconds for the last shard call")
+	reg.Gauge(MetricShardLatencySkew, "max/min per-cluster EWMA epoch seconds across live workers")
 }

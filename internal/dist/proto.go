@@ -55,9 +55,13 @@ type EpochRequest struct {
 	// Clusters is the shard: the cluster indices this worker owns for the
 	// epoch.
 	Clusters []int `json:"clusters"`
-	// Adopt carries boundary checkpoints to install before running —
-	// how a reassigned cluster's state reaches its new worker.
-	Adopt []field.ClusterState `json:"adopt,omitempty"`
+	// Adopt and AdoptDeltas carry boundary checkpoints to install before
+	// running — how a reassigned cluster's state reaches its new worker.
+	// The coordinator picks the cheaper encoding per cluster
+	// (field.Runtime.ExportClusterHandoff): a full ClusterState, or a
+	// compact delta against the initial build state.
+	Adopt       []field.ClusterState `json:"adopt,omitempty"`
+	AdoptDeltas []field.ClusterDelta `json:"adopt_deltas,omitempty"`
 }
 
 // EpochResponse is the worker's half of the barrier: one result per

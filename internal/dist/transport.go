@@ -1,11 +1,18 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 )
+
+// jsonBufs pools the JSON encode buffers both transports use — epoch
+// payloads at 100k sensors run to megabytes per call, and the pool keeps
+// a warm buffer per in-flight call instead of reallocating every epoch.
+var jsonBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // Transport is the coordinator's view of a worker fleet: four calls,
 // each addressed by the opaque worker name from Config.Workers. The
@@ -34,11 +41,26 @@ type LocalTransport struct {
 	mu     sync.Mutex
 	hosts  map[string]*WorkerHost
 	killed map[string]bool
+	delays map[string]time.Duration
 }
 
 // NewLocalTransport builds an empty in-process fabric.
 func NewLocalTransport() *LocalTransport {
-	return &LocalTransport{hosts: make(map[string]*WorkerHost), killed: make(map[string]bool)}
+	return &LocalTransport{
+		hosts:  make(map[string]*WorkerHost),
+		killed: make(map[string]bool),
+		delays: make(map[string]time.Duration),
+	}
+}
+
+// Delay makes every subsequent RunShard against the named worker stall
+// for d before executing — the fabric's slow-worker injection for
+// latency-placement tests. Pings are unaffected (a slow worker is alive,
+// just slow). Zero removes the stall.
+func (t *LocalTransport) Delay(name string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.delays[name] = d
 }
 
 // AddWorker registers a host under a worker name.
@@ -72,11 +94,13 @@ func (t *LocalTransport) host(worker string) (*WorkerHost, error) {
 // reencode round-trips v through JSON into out — the in-process stand-in
 // for the wire.
 func reencode(v, out any) error {
-	b, err := json.Marshal(v)
-	if err != nil {
+	buf := jsonBufs.Get().(*bytes.Buffer)
+	defer jsonBufs.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		return err
 	}
-	return json.Unmarshal(b, out)
+	return json.Unmarshal(buf.Bytes(), out)
 }
 
 // Ping implements Transport.
@@ -112,6 +136,16 @@ func (t *LocalTransport) RunShard(ctx context.Context, worker string, req EpochR
 	h, err := t.host(worker)
 	if err != nil {
 		return nil, err
+	}
+	t.mu.Lock()
+	delay := t.delays[worker]
+	t.mu.Unlock()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	var wire EpochRequest
 	if err := reencode(req, &wire); err != nil {

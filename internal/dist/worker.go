@@ -109,6 +109,11 @@ func (h *WorkerHost) RunShard(req EpochRequest) (*EpochResponse, error) {
 			return nil, err
 		}
 	}
+	for _, d := range req.AdoptDeltas {
+		if err := s.rt.AdoptClusterDelta(d); err != nil {
+			return nil, err
+		}
+	}
 	res, err := s.rt.RunShardEpoch(exp.Options{Obs: h.Obs}, req.Epoch, req.Clusters)
 	if err != nil {
 		return nil, err

@@ -124,11 +124,13 @@ func (t *HTTPTransport) client() *http.Client {
 func (t *HTTPTransport) do(ctx context.Context, method, url string, in, out any) error {
 	var body io.Reader
 	if in != nil {
-		b, err := json.Marshal(in)
-		if err != nil {
+		buf := jsonBufs.Get().(*bytes.Buffer)
+		defer jsonBufs.Put(buf) // after resp.Body.Close — the request body replay window is over
+		buf.Reset()
+		if err := json.NewEncoder(buf).Encode(in); err != nil {
 			return fmt.Errorf("dist: encode %s %s: %w", method, url, err)
 		}
-		body = bytes.NewReader(b)
+		body = bytes.NewReader(buf.Bytes())
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {

@@ -289,6 +289,20 @@ type Runtime struct {
 	scratchRevs       []uint64
 	scratchDuties     []time.Duration
 	scratchDutyColors []int
+	// scratchPreBatt snapshots one cluster's pre-churn batteries so the
+	// boundary delta can list only the levels the churn moved.
+	scratchPreBatt []float64
+	// runnerScratch[k] is cluster k's reusable runner-build state
+	// (oracle, routing workspace, polling buffers), created on first use.
+	// Only the worker running cluster k touches its slot, so the fan-out
+	// needs no locking — same discipline as planCaches.
+	runnerScratch []*cluster.RunnerScratch
+	// scratchSorted is RunShardEpoch's sorted shard copy; scratchMergeByK
+	// and scratchOrdered are MergeEpoch's indexing state. All single-
+	// threaded per their callers.
+	scratchSorted   []int
+	scratchMergeByK map[int]*ClusterResult
+	scratchOrdered  []*ClusterResult
 
 	// lastRadioRefreshed remembers the field-wide cumulative refreshed-
 	// links counter at the previous emit, so the radio_refresh_links_total
@@ -333,6 +347,7 @@ func New(f *topo.Field, cfg Config) (*Runtime, error) {
 	rt.clusters = make([]*topo.Cluster, len(f.Heads))
 	rt.dead = make([][]bool, len(f.Heads))
 	rt.planCaches = make([]*routing.PlanCache, len(f.Heads))
+	rt.runnerScratch = make([]*cluster.RunnerScratch, len(f.Heads))
 	if cfg.BatteryJoules > 0 {
 		rt.batteries = make([][]float64, len(f.Heads))
 	}
@@ -451,7 +466,12 @@ func (rt *Runtime) runClusterEpoch(o exp.Options, epoch, k int, out *clusterEpoc
 	pk.Seed = rt.epochSeed(epoch, k)
 	pc := rt.planCaches[k]
 	misses0 := pc.Misses
-	r, err := cluster.NewRunnerCached(c, pk, pc)
+	scr := rt.runnerScratch[k]
+	if scr == nil {
+		scr = &cluster.RunnerScratch{}
+		rt.runnerScratch[k] = scr
+	}
+	r, err := cluster.NewRunnerScratch(c, pk, pc, scr)
 	if err != nil {
 		out.err = fmt.Errorf("field: cluster %d epoch %d: %w", k, epoch, err)
 		return

@@ -92,8 +92,12 @@ type ClusterResult struct {
 	// clusters with at least one live sensor.
 	Lifetime    time.Duration `json:"lifetime_ns,omitempty"`
 	HasLifetime bool          `json:"has_lifetime,omitempty"`
-	// State is the cluster's boundary checkpoint after the epoch.
-	State ClusterState `json:"state"`
+	// Exactly one of State and Delta carries the cluster's boundary
+	// checkpoint after the epoch. Workers ship Delta — the compact
+	// encoding against the boundary the epoch started from (delta.go);
+	// State remains accepted for full checkpoints and older payloads.
+	State *ClusterState `json:"state,omitempty"`
+	Delta *ClusterDelta `json:"delta,omitempty"`
 }
 
 // FieldHash is the deployment fingerprint ("%016x" of
@@ -172,8 +176,9 @@ func (rt *Runtime) RunShardEpoch(o exp.Options, epoch int, ks []int) ([]ClusterR
 	if epoch < 0 {
 		return nil, fmt.Errorf("field: %w: negative epoch %d", ErrShardEpoch, epoch)
 	}
-	sorted := append([]int(nil), ks...)
+	sorted := append(rt.scratchSorted[:0], ks...)
 	sort.Ints(sorted)
+	rt.scratchSorted = sorted
 	out := make([]ClusterResult, 0, len(sorted))
 	for i, k := range sorted {
 		if i > 0 && sorted[i-1] == k {
@@ -240,7 +245,14 @@ func (rt *Runtime) runShardCluster(o exp.Options, epoch, k int) (*ClusterResult,
 
 	// The churn boundary, restricted to this cluster: battery kills, then
 	// the fault draw, then the shadow shift — the same order the
-	// single-process boundary applies field-wide.
+	// single-process boundary applies field-wide. The pre-churn batteries
+	// are snapshotted first so the boundary delta can ship only the
+	// levels the churn moved.
+	var preBatt []float64
+	if rt.batteries != nil {
+		preBatt = append(rt.scratchPreBatt[:0], rt.batteries[k]...)
+		rt.scratchPreBatt = preBatt
+	}
 	changed := false
 	if rt.batteries != nil && out.energyUse != nil {
 		if rt.batteryChurnCluster(epoch, k, out.energyUse, &res.Deaths) {
@@ -265,11 +277,25 @@ func (rt *Runtime) runShardCluster(o exp.Options, epoch, k int) (*ClusterResult,
 	res.Stranded = rt.strandedIn(k)
 
 	rt.shardEpochs[k] = epoch + 1
-	st, err := rt.ExportClusterState(k)
-	if err != nil {
-		return nil, err
+	// The boundary checkpoint ships as a delta against the boundary the
+	// epoch started from — the coordinator's books are guaranteed to sit
+	// there (it only issues epoch e after committing boundary e). The
+	// delta is freshly allocated: it lives in shardResults for idempotent
+	// re-query, so it cannot share scratch across clusters. An active
+	// battery cluster can drain nearly every node in one epoch, making
+	// the delta's (index, value) pairs pricier than the plain battery
+	// array — ship whichever encoding is smaller on the wire.
+	d := &ClusterDelta{}
+	rt.encodeBoundaryDelta(k, epoch, res.Deaths, preBatt, d)
+	if rt.deltaCheaper(d, c.Sensors()) {
+		res.Delta = d
+	} else {
+		st, err := rt.ExportClusterState(k)
+		if err != nil {
+			return nil, err
+		}
+		res.State = &st
 	}
-	res.State = st
 	rt.shardResults[k] = res
 	return res, nil
 }
@@ -365,7 +391,13 @@ func (rt *Runtime) MergeEpoch(results []ClusterResult) (*EpochReport, error) {
 		return nil, fmt.Errorf("field: MergeEpoch on a shard-mode runtime")
 	}
 	epoch := rt.epoch
-	byK := make(map[int]*ClusterResult, len(results))
+	byK := rt.scratchMergeByK
+	if byK == nil {
+		byK = make(map[int]*ClusterResult, len(results))
+		rt.scratchMergeByK = byK
+	} else {
+		clear(byK)
+	}
 	for i := range results {
 		r := &results[i]
 		k := r.Row.Cluster
@@ -389,7 +421,7 @@ func (rt *Runtime) MergeEpoch(results []ClusterResult) (*EpochReport, error) {
 	rep := EpochReport{Epoch: epoch}
 	duties := rt.scratchDuties[:0]
 	dutyColors := rt.scratchDutyColors[:0]
-	ordered := make([]*ClusterResult, 0, len(byK))
+	ordered := rt.scratchOrdered[:0]
 	for k, c := range rt.clusters {
 		if c == nil {
 			continue
@@ -406,6 +438,7 @@ func (rt *Runtime) MergeEpoch(results []ClusterResult) (*EpochReport, error) {
 		rt.sum.DeliveredTotal += r.Row.Delivered
 		rt.sum.RetriesTotal += r.Row.Retries
 	}
+	rt.scratchOrdered = ordered
 	rep.TokenCycle = cluster.TokenRotationCycle(duties)
 	colored, err := cluster.ColoredCycle(duties, dutyColors)
 	if err != nil {
@@ -455,8 +488,18 @@ func (rt *Runtime) MergeEpoch(results []ClusterResult) (*EpochReport, error) {
 	// books track the fleet — that is what makes its Snapshot the
 	// resume point, and the source of adoption payloads.
 	for _, r := range ordered {
-		if err := rt.importClusterState(r.State, epoch+1); err != nil {
-			return nil, err
+		switch {
+		case r.Delta != nil:
+			if err := rt.importClusterDelta(*r.Delta, epoch+1); err != nil {
+				return nil, err
+			}
+		case r.State != nil:
+			if err := rt.importClusterState(*r.State, epoch+1); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("field: %w: cluster %d result carries no boundary state",
+				ErrShardMismatch, r.Row.Cluster)
 		}
 	}
 

@@ -237,7 +237,16 @@ func TestShardRejections(t *testing.T) {
 	if err != nil {
 		t.Fatalf("re-query of completed epoch: %v", err)
 	}
-	if len(again) != 1 || again[0].Epoch != 0 || again[0].State.Epoch != 1 {
+	cachedEpoch := -1
+	if len(again) == 1 {
+		switch {
+		case again[0].Delta != nil:
+			cachedEpoch = again[0].Delta.Epoch
+		case again[0].State != nil:
+			cachedEpoch = again[0].State.Epoch
+		}
+	}
+	if len(again) != 1 || again[0].Epoch != 0 || cachedEpoch != 1 {
 		t.Fatalf("re-query returned %+v, want cached epoch-0 result", again)
 	}
 	// A shard-mode runtime refuses the whole-field path.

@@ -94,6 +94,32 @@ func (f *FlowNetwork) Reset() {
 	}
 }
 
+// Reuse makes the network an empty n-vertex network again, equivalent to
+// NewFlowNetwork(n) but retaining every backing array — edge storage,
+// adjacency buckets and Dinic scratch. The epoch-loop reuse hook: a
+// caller that rebuilds a similarly-sized network every epoch allocates
+// nothing once the arrays have grown to steady state.
+func (f *FlowNetwork) Reuse(n int) {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	if n <= cap(f.first) {
+		// Entries beyond the previous length keep their old buckets;
+		// truncating every bucket to zero length preserves the storage.
+		f.first = f.first[:n]
+	} else {
+		f.first = append(f.first[:cap(f.first)], make([][]int, n-cap(f.first))...)
+	}
+	for v := range f.first {
+		f.first[v] = f.first[v][:0]
+	}
+	f.n = n
+	f.head = f.head[:0]
+	f.cap = f.cap[:0]
+	f.flow = f.flow[:0]
+	f.augments = 0
+}
+
 // SaveFlow appends a copy of the current flow state to dst (reusing its
 // backing array when large enough) and returns it. Together with
 // RestoreFlow it lets the routing binary search warm-start probes from the
@@ -144,9 +170,14 @@ func (f *FlowNetwork) check(u int) {
 // re-solves are allocation-free.
 func (f *FlowNetwork) ensureScratch() {
 	if len(f.level) != f.n {
-		f.level = make([]int, f.n)
-		f.iter = make([]int, f.n)
-		f.queue = make([]int, 0, f.n)
+		if cap(f.level) >= f.n {
+			f.level = f.level[:f.n]
+			f.iter = f.iter[:f.n]
+		} else {
+			f.level = make([]int, f.n)
+			f.iter = make([]int, f.n)
+			f.queue = make([]int, 0, f.n)
+		}
 	}
 }
 

@@ -178,6 +178,25 @@ func (o *TestedOracle) Compatible(txs []Transmission) bool {
 	return v
 }
 
+// Reset re-arms the oracle over a (possibly new) truth oracle and group
+// bound, clearing every cached verdict and the test counter but keeping
+// the maps' allocated buckets — the epoch-loop reuse hook. After Reset
+// the oracle answers exactly as a fresh NewTestedOracle(truth, m) would:
+// stale verdicts cannot leak because the caches are emptied, and Tests
+// restarts from zero. Must not race with Compatible calls.
+func (o *TestedOracle) Reset(truth CompatibilityOracle, m int) {
+	if m < 1 {
+		panic("radio: TestedOracle requires M >= 1")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.Truth = truth
+	o.M = m
+	o.Tests = 0
+	clear(o.fast)
+	clear(o.slow)
+}
+
 // TestCount returns the number of distinct groups tested so far. Unlike
 // reading the Tests field directly, it is safe while other goroutines are
 // querying the oracle.

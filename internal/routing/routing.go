@@ -67,6 +67,14 @@ type Plan struct {
 // deliver per duty cycle (demand[head] must be 0). The search strategy
 // picks how delta is located; both return identical Delta values.
 func BalancedPaths(g *graph.Undirected, head int, demand []int, search DeltaSearch) (*Plan, error) {
+	return BalancedPathsWS(nil, g, head, demand, search)
+}
+
+// BalancedPathsWS is BalancedPaths with an optional reusable Workspace;
+// a nil workspace plans with fresh allocations. The returned plan is
+// independent of the workspace and may outlive it — plan caches retain
+// plans across epochs while the workspace is recycled.
+func BalancedPathsWS(ws *Workspace, g *graph.Undirected, head int, demand []int, search DeltaSearch) (*Plan, error) {
 	if len(demand) != g.N() {
 		return nil, fmt.Errorf("routing: demand has %d entries for %d nodes", len(demand), g.N())
 	}
@@ -99,7 +107,7 @@ func BalancedPaths(g *graph.Undirected, head int, demand []int, search DeltaSear
 	// raises the node-capacity arcs. Raising capacities keeps the current
 	// flow feasible (capacities are monotone in delta), so every probe
 	// continues augmenting instead of re-solving from zero.
-	nw := buildNetwork(g, head, demand, int64(maxDemand))
+	nw := buildNetwork(ws, g, head, demand, int64(maxDemand))
 	solve := func() int64 {
 		plan.Solves++
 		return nw.fn.MaxFlow(nw.src, nw.sink)
@@ -128,7 +136,11 @@ func BalancedPaths(g *graph.Undirected, head int, demand []int, search DeltaSear
 			// Warm-start every probe from the flow at the largest delta
 			// known infeasible: that flow respects the (larger) probe
 			// capacities, so only the missing flow is augmented.
-			base := nw.fn.SaveFlow(nil)
+			var snap []int64
+			if ws != nil {
+				snap = ws.base
+			}
+			base := nw.fn.SaveFlow(snap)
 			baseVal := flowVal
 			lo++
 			for lo < hi {
@@ -145,6 +157,9 @@ func BalancedPaths(g *graph.Undirected, head int, demand []int, search DeltaSear
 				}
 			}
 			delta = lo
+			if ws != nil {
+				ws.base = base
+			}
 		}
 	default:
 		return nil, fmt.Errorf("routing: unknown search strategy %d", search)
@@ -163,7 +178,7 @@ func BalancedPaths(g *graph.Undirected, head int, demand []int, search DeltaSear
 	}
 	plan.Delta = delta
 	plan.AugmentingPaths = nw.fn.AugmentCount()
-	paths, err := nw.decompose(demand)
+	paths, err := nw.decompose(ws, demand)
 	if err != nil {
 		return nil, err
 	}
@@ -184,17 +199,25 @@ type network struct {
 // buildNetwork assembles the flow network: vertices 2v (input) and 2v+1
 // (output) for every original node v, a super source and the head's input
 // as sink. Link arcs need no lookup structure: the decomposition walks all
-// forward edges by id.
-func buildNetwork(g *graph.Undirected, head int, demand []int, delta int64) *network {
+// forward edges by id. A non-nil workspace donates (and receives back)
+// the network's backing arrays.
+func buildNetwork(ws *Workspace, g *graph.Undirected, head int, demand []int, delta int64) *network {
 	n := g.N()
-	fn := graph.NewFlowNetwork(2*n + 1)
-	src := 2 * n
-	sink := 2*head + 0 // head's input node collects all packets
-	nw := &network{
-		fn: fn, src: src, sink: sink, n: n, head: head,
-		srcEdge:  make([]int, n),
-		nodeEdge: make([]int, n),
+	nw := &network{}
+	if ws != nil {
+		nw = &ws.nw
 	}
+	if nw.fn == nil {
+		nw.fn = graph.NewFlowNetwork(2*n + 1)
+	} else {
+		nw.fn.Reuse(2*n + 1)
+	}
+	fn := nw.fn
+	nw.src = 2 * n
+	nw.sink = 2*head + 0 // head's input node collects all packets
+	nw.n, nw.head = n, head
+	nw.srcEdge = intSlice(nw.srcEdge, n)
+	nw.nodeEdge = intSlice(nw.nodeEdge, n)
 	in := func(v int) int { return 2 * v }
 	out := func(v int) int { return 2*v + 1 }
 	for v := 0; v < n; v++ {
@@ -205,22 +228,29 @@ func buildNetwork(g *graph.Undirected, head int, demand []int, delta int64) *net
 		// Node capacity delta bounds own + relayed packets.
 		nw.nodeEdge[v] = fn.AddEdge(in(v), out(v), delta)
 		if demand[v] > 0 {
-			nw.srcEdge[v] = fn.AddEdge(src, in(v), int64(demand[v]))
+			nw.srcEdge[v] = fn.AddEdge(nw.src, in(v), int64(demand[v]))
 		}
 	}
-	for _, e := range g.Edges() {
-		u, v := e[0], e[1]
-		// Directed arcs from each sensor's output to its neighbor's
-		// input. Arcs into the head terminate at the sink.
-		if u != head && v != head {
-			fn.AddEdge(out(u), in(v), graph.Inf)
-			fn.AddEdge(out(v), in(u), graph.Inf)
-		} else {
-			s := u
-			if s == head {
-				s = v
+	// Each undirected edge once with u < v, in adjacency order — the same
+	// enumeration g.Edges() produces, walked in place so the edge-id
+	// assignment (and with it the decomposition) is unchanged.
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v < u {
+				continue
 			}
-			fn.AddEdge(out(s), sink, graph.Inf)
+			// Directed arcs from each sensor's output to its neighbor's
+			// input. Arcs into the head terminate at the sink.
+			if u != head && v != head {
+				fn.AddEdge(out(u), in(v), graph.Inf)
+				fn.AddEdge(out(v), in(u), graph.Inf)
+			} else {
+				s := u
+				if s == head {
+					s = v
+				}
+				fn.AddEdge(out(s), nw.sink, graph.Inf)
+			}
 		}
 	}
 	return nw
@@ -257,20 +287,22 @@ type decomposer struct {
 	walk []int // forward edge indices of the current walk
 }
 
-// newDecomposer indexes the positive-flow forward edges of the solved
-// network.
-func newDecomposer(nw *network) *decomposer {
+// reset re-indexes the positive-flow forward edges of the solved network,
+// reusing the decomposer's backing arrays when they are large enough.
+// seenGen survives resets and only grows, so stale generation stamps in a
+// reused (or resliced-within-capacity) seenIn can never match a future
+// walk's generation.
+func (d *decomposer) reset(nw *network) {
 	fn := nw.fn
 	nEdges := fn.EdgeCount()
 	nVerts := fn.N()
-	d := &decomposer{
-		nw:       nw,
-		rem:      make([]int64, nEdges),
-		outStart: make([]int, nVerts+1),
-		cursor:   make([]int, nVerts),
-		seenAt:   make([]int, nVerts),
-		seenIn:   make([]int, nVerts),
-	}
+	d.nw = nw
+	d.rem = int64Slice(d.rem, nEdges)
+	d.outStart = intSlice(d.outStart, nVerts+1)
+	clear(d.outStart)
+	d.cursor = intSlice(d.cursor, nVerts)
+	d.seenAt = intSlice(d.seenAt, nVerts)
+	d.seenIn = intSlice(d.seenIn, nVerts)
 	cnt := 0
 	for i := 0; i < nEdges; i++ {
 		if fl := fn.EdgeFlow(2 * i); fl > 0 {
@@ -278,12 +310,14 @@ func newDecomposer(nw *network) *decomposer {
 			u, _ := fn.EdgeEnds(2 * i)
 			d.outStart[u+1]++
 			cnt++
+		} else {
+			d.rem[i] = 0
 		}
 	}
 	for v := 0; v < nVerts; v++ {
 		d.outStart[v+1] += d.outStart[v]
 	}
-	d.outList = make([]int, cnt)
+	d.outList = intSlice(d.outList, cnt)
 	copy(d.cursor, d.outStart[:nVerts])
 	fill := d.cursor
 	for i := 0; i < nEdges; i++ {
@@ -294,7 +328,6 @@ func newDecomposer(nw *network) *decomposer {
 		}
 	}
 	copy(d.cursor, d.outStart[:nVerts])
-	return d
 }
 
 // nextEdge returns the lowest-id positive-flow forward edge leaving u, or
@@ -314,8 +347,12 @@ func (d *decomposer) nextEdge(u int) int {
 // decompose peels the solved flow into per-sensor weighted paths. Flow
 // cycles (possible in principle after augmentation) are cancelled on the
 // fly.
-func (nw *network) decompose(demand []int) (map[int][]WeightedPath, error) {
-	d := newDecomposer(nw)
+func (nw *network) decompose(ws *Workspace, demand []int) (map[int][]WeightedPath, error) {
+	d := &decomposer{}
+	if ws != nil {
+		d = &ws.dec
+	}
+	d.reset(nw)
 	paths := make(map[int][]WeightedPath)
 	// Peel demand[v] units per sensor, in sensor order for determinism.
 	for v := 0; v < nw.n; v++ {

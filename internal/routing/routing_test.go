@@ -361,11 +361,11 @@ func TestWarmSearchMatchesColdSolve(t *testing.T) {
 		}
 		// Cold reference: a fresh network at the found delta, solved from
 		// zero flow, decomposed the same way.
-		nw := buildNetwork(g, 0, demand, int64(lin.Delta))
+		nw := buildNetwork(nil, g, 0, demand, int64(lin.Delta))
 		if got := nw.fn.MaxFlow(nw.src, nw.sink); got != int64(total) {
 			t.Fatalf("trial %d: cold solve at delta %d pushed %d of %d", trial, lin.Delta, got, total)
 		}
-		cold, err := nw.decompose(demand)
+		cold, err := nw.decompose(nil, demand)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -375,7 +375,7 @@ func TestWarmSearchMatchesColdSolve(t *testing.T) {
 		// Delta minimality: the cold network at delta-1 must not satisfy
 		// the demand (delta is the smallest feasible node capacity).
 		if lin.Delta > 0 {
-			low := buildNetwork(g, 0, demand, int64(lin.Delta-1))
+			low := buildNetwork(nil, g, 0, demand, int64(lin.Delta-1))
 			if low.fn.MaxFlow(low.src, low.sink) == int64(total) {
 				t.Fatalf("trial %d: delta %d is not minimal", trial, lin.Delta)
 			}

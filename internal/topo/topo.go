@@ -525,20 +525,94 @@ func (f *Field) BuildCluster(k int, cfg Config) (*Cluster, error) {
 // adjacent when a sensor of one lies within interferenceRange of a sensor
 // of the other, so their transmissions can collide at the boundary
 // (Section V-G). Coloring this graph assigns radio channels.
+//
+// Sensors are bucketed into an interferenceRange-sized grid so only pairs
+// in adjacent cells are tested — O(sensors x local density) instead of
+// the all-pairs scan, which is what keeps 100k-sensor field construction
+// (one per distributed worker) off the O(N^2) cliff. The candidate list
+// for each sensor is sorted before edges are added, so the edge sequence
+// — and therefore the coloring and every downstream channel assignment —
+// is exactly what the all-pairs loop produced.
 func (f *Field) ClusterGraph(interferenceRange float64) *graph.Undirected {
 	g := graph.NewUndirected(len(f.Heads))
+	if len(f.Sensors) == 0 || interferenceRange <= 0 {
+		return g
+	}
+	b := geom.Rect{MinX: f.Sensors[0].X, MinY: f.Sensors[0].Y, MaxX: f.Sensors[0].X, MaxY: f.Sensors[0].Y}
+	for _, p := range f.Sensors[1:] {
+		b.MinX = math.Min(b.MinX, p.X)
+		b.MinY = math.Min(b.MinY, p.Y)
+		b.MaxX = math.Max(b.MaxX, p.X)
+		b.MaxY = math.Max(b.MaxY, p.Y)
+	}
+	cell := interferenceRange
+	cols := int(b.Width()/cell) + 1
+	rows := int(b.Height()/cell) + 1
+	cellOf := func(p geom.Point) (int, int) {
+		cx := int((p.X - b.MinX) / cell)
+		cy := int((p.Y - b.MinY) / cell)
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= rows {
+			cy = rows - 1
+		}
+		return cx, cy
+	}
+	buckets := make([][]int32, cols*rows)
+	for i, p := range f.Sensors {
+		cx, cy := cellOf(p)
+		buckets[cy*cols+cx] = append(buckets[cy*cols+cx], int32(i))
+	}
+	var cand []int32
 	for i := 0; i < len(f.Sensors); i++ {
-		for j := i + 1; j < len(f.Sensors); j++ {
-			ci, cj := f.Assign[i], f.Assign[j]
-			if ci == cj {
+		cx, cy := cellOf(f.Sensors[i])
+		cand = cand[:0]
+		for dy := -1; dy <= 1; dy++ {
+			y := cy + dy
+			if y < 0 || y >= rows {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				x := cx + dx
+				if x < 0 || x >= cols {
+					continue
+				}
+				for _, j := range buckets[y*cols+x] {
+					if int(j) > i {
+						cand = append(cand, j)
+					}
+				}
+			}
+		}
+		sortInt32(cand)
+		ci := f.Assign[i]
+		for _, j32 := range cand {
+			j := int(j32)
+			if ci == f.Assign[j] {
 				continue
 			}
 			if f.Sensors[i].Dist(f.Sensors[j]) <= interferenceRange {
-				g.AddEdge(ci, cj)
+				g.AddEdge(ci, f.Assign[j])
 			}
 		}
 	}
 	return g
+}
+
+// sortInt32 is an allocation-free insertion/shell hybrid for the short
+// candidate lists ClusterGraph gathers per sensor.
+func sortInt32(s []int32) {
+	for gap := len(s) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(s); i++ {
+			v := s[i]
+			j := i
+			for ; j >= gap && s[j-gap] > v; j -= gap {
+				s[j] = s[j-gap]
+			}
+			s[j] = v
+		}
+	}
 }
 
 // ChannelAssignment colors the cluster graph with the smallest-degree-last

@@ -247,6 +247,53 @@ func TestClusterGraphAndColoring(t *testing.T) {
 	}
 }
 
+// TestClusterGraphMatchesAllPairs pins the grid-bucketed ClusterGraph to
+// the all-pairs reference it replaced — not just the same edge set but
+// the same edge sequence, since edge order feeds the coloring heuristic
+// and through it every channel assignment downstream.
+func TestClusterGraphMatchesAllPairs(t *testing.T) {
+	allPairs := func(f *Field, rng float64) *graph.Undirected {
+		g := graph.NewUndirected(len(f.Heads))
+		for i := 0; i < len(f.Sensors); i++ {
+			for j := i + 1; j < len(f.Sensors); j++ {
+				ci, cj := f.Assign[i], f.Assign[j]
+				if ci == cj {
+					continue
+				}
+				if f.Sensors[i].Dist(f.Sensors[j]) <= rng {
+					g.AddEdge(ci, cj)
+				}
+			}
+		}
+		return g
+	}
+	for _, tc := range []struct {
+		seed         int64
+		side         float64
+		heads, nodes int
+		interference float64
+	}{
+		{17, 400, 8, 300, 60},
+		{17, 400, 8, 300, 120},
+		{99, 900, 13, 700, 45},
+		{5, 200, 3, 40, 500}, // range dwarfs the field: one cell holds everyone
+		{5, 200, 3, 40, 0.5}, // range dwarfs nothing: mostly empty cells
+	} {
+		f := BuildField(tc.seed, tc.side, tc.heads, tc.nodes)
+		want := allPairs(f, tc.interference)
+		got := f.ClusterGraph(tc.interference)
+		we, ge := want.Edges(), got.Edges()
+		if len(we) != len(ge) {
+			t.Fatalf("case %+v: %d edges, want %d", tc, len(ge), len(we))
+		}
+		for k := range we {
+			if we[k] != ge[k] {
+				t.Fatalf("case %+v: edge %d = %v, want %v", tc, k, ge[k], we[k])
+			}
+		}
+	}
+}
+
 func TestMaxLevelSingleSensor(t *testing.T) {
 	c, err := Build(Config{Sensors: 1, Side: 10, SensorRange: 30, HeadRange: 30, Seed: 2})
 	if err != nil {
